@@ -1,0 +1,72 @@
+"""Ablation benches A1-A4: the design choices DESIGN.md calls out.
+
+A1  explicit invalidation propagation (4.1.4's optional optimisation)
+A2  the per-object binding cache (the premise of 5.2.1)
+A3  binding TTLs (the expiry field of 3.5)
+A4  the locality assumption (the premise of 5.2)
+
+Each bench regenerates the ablation's table and times a representative
+operation.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import (
+    ablation_caching,
+    ablation_propagation,
+    ablation_ttl_locality,
+)
+
+
+def test_a1_propagation_claims_and_subscribe_cost(benchmark, small_system):
+    system, cls, _instance = small_system
+    agent = system.agents[system.sites[0].name]
+
+    def subscribe():
+        system.call(cls.loid, "SubscribeInvalidations", agent.binding())
+        return True
+
+    assert benchmark(subscribe)
+    assert_and_report(ablation_propagation.run(quick=True))
+
+
+def test_a2_cache_claims_and_cached_resolve_cost(benchmark, small_system):
+    system, _cls, instance = small_system
+    client = system.new_client("bench-a2")
+    system.call(instance.loid, "Ping", client=client)
+
+    def cached_resolve():
+        fut = system.kernel.spawn(client.runtime.resolve(instance.loid))
+        return system.kernel.run_until_complete(fut)
+
+    binding = benchmark(cached_resolve)
+    assert binding.loid == instance.loid
+    assert_and_report(ablation_caching.run(quick=True))
+
+
+def test_a3_ttl_claims_and_expiry_check_cost(benchmark, small_system):
+    system, _cls, instance = small_system
+    from repro.naming.binding import Binding
+    from repro.naming.cache import BindingCache
+
+    cache = BindingCache(capacity=128)
+    cache.insert(Binding(instance.loid, instance.address, expires_at=1e12))
+
+    def expiry_checked_lookup():
+        return cache.lookup(instance.loid, system.kernel.now)
+
+    assert benchmark(expiry_checked_lookup) is not None
+    assert_and_report(ablation_ttl_locality.run_ttl(quick=True))
+
+
+def test_a4_locality_claims_and_wan_call_cost(benchmark, small_system):
+    system, _cls, instance = small_system
+    remote_site = system.sites[1].name
+    remote_client = system.new_client("bench-a4", site=remote_site)
+    system.call(instance.loid, "Ping", client=remote_client)
+
+    def cross_site_call():
+        return system.call(instance.loid, "Increment", 1, client=remote_client)
+
+    assert benchmark(cross_site_call) >= 1
+    assert_and_report(ablation_ttl_locality.run_locality(quick=True))

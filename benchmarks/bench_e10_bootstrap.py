@@ -1,0 +1,22 @@
+"""E10 bench: bootstrap (4.2.1) + full bring-up wall time.
+
+Regenerates the bring-up table and times LegionSystem.build for a 2-site
+system -- the complete section-4.2.1 procedure from nothing to a working
+object system.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e10_bootstrap
+from repro.experiments.common import uniform_sites
+from repro.system.legion import LegionSystem
+
+
+def test_e10_bootstrap_claims_and_bringup_cost(benchmark):
+    def bring_up():
+        return LegionSystem.build(uniform_sites(2, hosts_per_site=2), seed=7)
+
+    system = benchmark(bring_up)
+    assert len(system.host_servers) == 4
+
+    assert_and_report(e10_bootstrap.run(quick=True))

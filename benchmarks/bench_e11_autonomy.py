@@ -1,0 +1,32 @@
+"""E11 bench: site autonomy (2.2, Fig. 9) + the cost of a MayI refusal.
+
+Regenerates the autonomy table and times the security boundary itself: a
+Create() that the target magistrate refuses (policy evaluated, refusal
+marshalled back).
+"""
+
+import pytest
+from conftest import assert_and_report
+
+from repro import errors
+from repro.experiments import e11_autonomy
+from repro.security.mayi import DenyAll
+
+
+def test_e11_autonomy_claims_and_refusal_cost(benchmark, small_system):
+    system, cls, _instance = small_system
+    locked = system.magistrates[system.sites[1].name]
+    locked.impl.mayi_policy = DenyAll()
+
+    def refused_create():
+        try:
+            system.call(cls.loid, "Create", {"magistrate": locked.loid})
+            return False
+        except errors.SecurityDenied:
+            return True
+
+    was_refused = benchmark(refused_create)
+    assert was_refused
+    locked.impl.mayi_policy = locked.impl.mayi_policy.__class__()  # restore-ish
+
+    assert_and_report(e11_autonomy.run(quick=True))

@@ -1,0 +1,27 @@
+"""E12 bench: LOID machinery (3.2) + allocation/pack/verify microcost.
+
+Regenerates the uniqueness-audit table and times the naming hot path:
+allocate an instance LOID, pack it to the Fig. 12 wire form, unpack, and
+verify its public key.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e12_loids
+from repro.naming.loid import LOID, LOIDAllocator
+
+
+def test_e12_loid_claims_and_alloc_cost(benchmark):
+    allocator = LOIDAllocator(class_id=99, secret=1234)
+
+    def alloc_pack_verify():
+        loid = allocator.next_instance()
+        packed = loid.pack()
+        back = LOID.unpack(packed)
+        assert back == loid
+        return back.verify_key(1234)
+
+    ok = benchmark(alloc_pack_verify)
+    assert ok
+
+    assert_and_report(e12_loids.run(quick=True))

@@ -1,0 +1,25 @@
+"""E1 bench: the binding walk (Figs. 13/17) + warm-invoke cost.
+
+Regenerates the E1 table (cold / agent-warm / client-warm / inert message
+counts) and times the steady-state operation the paper optimises for: a
+fully warm method invocation, which must be a bare request/reply.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e1_binding_path
+
+
+def test_e1_binding_path_claims_and_warm_invoke(benchmark, small_system):
+    system, _cls, instance = small_system
+
+    # Warm the path once, then measure the steady state.
+    system.call(instance.loid, "Ping")
+
+    def warm_invoke():
+        return system.call(instance.loid, "Ping")
+
+    value = benchmark(warm_invoke)
+    assert value == "pong"
+
+    assert_and_report(e1_binding_path.run(quick=True))

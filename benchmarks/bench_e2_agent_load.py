@@ -1,0 +1,26 @@
+"""E2 bench: bounded per-agent load (5.2.1) + cache-served GetBinding cost.
+
+Regenerates the E2 sweep table and times what a loaded Binding Agent does
+all day: serving a GetBinding request from its cache.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e2_agent_load
+
+
+def test_e2_agent_load_claims_and_cached_getbinding(benchmark, small_system):
+    system, _cls, instance = small_system
+    agent = system.agents[system.sites[0].name]
+    client = system.new_client("bench-e2")
+
+    # Prime the agent's cache with the instance binding.
+    system.call(instance.loid, "Ping", client=client)
+
+    def cached_get_binding():
+        return system.call(agent.loid, "GetBinding", instance.loid, client=client)
+
+    binding = benchmark(cached_get_binding)
+    assert binding.loid == instance.loid
+
+    assert_and_report(e2_agent_load.run(quick=True))

@@ -1,0 +1,38 @@
+"""E3 bench: combining trees flatten LegionClass load (5.2.2).
+
+Regenerates the flat-vs-tree sweep table and times a tree-leaf GetBinding
+once every tier is warm (the combining tree's steady-state cost).
+"""
+
+from conftest import assert_and_report
+
+from repro.binding.hierarchy import build_agent_tree
+from repro.experiments import e3_combining_tree
+from repro.experiments.e3_combining_tree import _spawn_agent_on
+
+
+def test_e3_combining_tree_claims_and_leaf_lookup(benchmark, small_system):
+    system, cls, _instance = small_system
+
+    servers = {}
+
+    def spawn(parent, level, index):
+        server = _spawn_agent_on(system, parent, f"bench-tree-{level}-{index}")
+        binding = server.binding()
+        servers[binding.loid.identity] = server
+        return binding
+
+    tree = build_agent_tree(spawn, leaf_count=4, fanout=2)
+    leaf = tree.leaves[0]
+    client = system.new_client("bench-e3")
+
+    # Warm the escalation path once.
+    system.call(leaf.loid, "GetBinding", cls.loid, client=client)
+
+    def leaf_lookup():
+        return system.call(leaf.loid, "GetBinding", cls.loid, client=client)
+
+    binding = benchmark(leaf_lookup)
+    assert binding.loid == cls.loid
+
+    assert_and_report(e3_combining_tree.run(quick=True))

@@ -1,0 +1,30 @@
+"""E4 bench: class cloning (5.2.2) + the cost of one Create().
+
+Regenerates the clone-count table and times the operation that makes a
+class "hot": a full Create() -- LOID allocation, magistrate cooperation,
+host activation, table insertion.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e4_class_cloning
+
+
+def test_e4_cloning_claims_and_create_cost(benchmark, small_system):
+    system, cls, _instance = small_system
+
+    created = []
+
+    def create_instance():
+        binding = system.call(cls.loid, "Create", {})
+        created.append(binding)
+        return binding
+
+    # Bounded rounds: every round really creates an object, and host
+    # process slots are finite.
+    binding = benchmark.pedantic(create_instance, rounds=30, iterations=1)
+    assert binding.loid.class_id == cls.loid.class_id
+    for extra in created:  # free the slots for later benches
+        system.call(cls.loid, "Delete", extra.loid)
+
+    assert_and_report(e4_class_cloning.run(quick=True))

@@ -1,0 +1,25 @@
+"""E5 bench: the Fig. 11 lifecycle + deactivate/activate round-trip cost.
+
+Regenerates the lifecycle table and times a full Active→Inert→Active
+cycle (SaveState, OPR to vault, vault to host, RestoreState).
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e5_lifecycle
+
+
+def test_e5_lifecycle_claims_and_cycle_cost(benchmark, small_system):
+    system, cls, instance = small_system
+    loid = instance.loid
+    row = system.call(cls.loid, "GetRow", loid)
+    magistrate = row.current_magistrates[0]
+
+    def cycle():
+        system.call(magistrate, "Deactivate", loid)
+        return system.call(magistrate, "Activate", loid)
+
+    address = benchmark(cycle)
+    assert address is not None
+
+    assert_and_report(e5_lifecycle.run(quick=True))

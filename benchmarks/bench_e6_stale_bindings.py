@@ -1,0 +1,30 @@
+"""E6 bench: stale-binding repair (4.1.4) + the cost of one repair.
+
+Regenerates the churn table and times the full detect→refresh→retry
+sequence: each round deactivates the object behind the caller's back, so
+the measured call *always* hits a stale binding.
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e6_stale_bindings
+
+
+def test_e6_stale_claims_and_repair_cost(benchmark, small_system):
+    system, cls, instance = small_system
+    loid = instance.loid
+    client = system.new_client("bench-e6")
+    system.call(loid, "Ping", client=client)  # client now holds a binding
+
+    def stale_then_repair():
+        row = system.call(cls.loid, "GetRow", loid)
+        magistrate = row.current_magistrates[0]
+        # Invalidate the world behind the client's cached binding.
+        system.call(magistrate, "Deactivate", loid)
+        return system.call(loid, "Ping", client=client)
+
+    value = benchmark(stale_then_repair)
+    assert value == "pong"
+    assert client.runtime.stats.stale_detected > 0
+
+    assert_and_report(e6_stale_bindings.run(quick=True))

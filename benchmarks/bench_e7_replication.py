@@ -1,0 +1,23 @@
+"""E7 bench: replication semantics (4.3) + replicated-call cost.
+
+Regenerates the failure-masking matrix and times a call on a 3-replica
+FIRST-semantics object (the primary/backup pattern's happy path).
+"""
+
+from conftest import assert_and_report
+
+from repro.experiments import e7_replication
+
+
+def test_e7_replication_claims_and_replicated_call(benchmark, small_system):
+    system, cls, _instance = small_system
+    binding = system.call(cls.loid, "CreateReplicated", 3, "first", 1)
+    system.call(binding.loid, "Ping")  # warm
+
+    def replicated_call():
+        return system.call(binding.loid, "Increment", 1)
+
+    value = benchmark(replicated_call)
+    assert value >= 1
+
+    assert_and_report(e7_replication.run(quick=True))

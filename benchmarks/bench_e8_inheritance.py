@@ -1,0 +1,34 @@
+"""E8 bench: the relation machinery (2.1) + the cost of Derive().
+
+Regenerates the inheritance/behaviour table and times run-time class
+derivation -- LegionClass id allocation, class-object activation through
+a magistrate, table and relation updates.
+"""
+
+import itertools
+
+from conftest import assert_and_report
+
+from repro.experiments import e8_inheritance
+
+_counter = itertools.count(1)
+
+
+def test_e8_inheritance_claims_and_derive_cost(benchmark, small_system):
+    system, cls, _instance = small_system
+
+    derived = []
+
+    def derive():
+        name = f"BenchSub{next(_counter)}"
+        binding = system.call(cls.loid, "Derive", name, {})
+        derived.append(binding)
+        return binding
+
+    # Bounded rounds: each round activates a real class object on a host.
+    binding = benchmark.pedantic(derive, rounds=30, iterations=1)
+    assert binding.loid.is_class
+    for extra in derived:  # free the slots for later benches
+        system.call(cls.loid, "Delete", extra.loid)
+
+    assert_and_report(e8_inheritance.run(quick=True))

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Distributed files through the single persistent name space.
+
+The paper's motivation for naming: "A single persistent name space unites
+the objects in the Legion system.  This makes remote files and data more
+easily accessible, thereby facilitating the construction of applications
+that span multiple sites." (section 1)
+
+This example builds a small file service *on* the core model -- no new
+mechanism, just a user class:
+
+* ``LegionFile`` objects hold content and metadata, export
+  Read/Write/Append/Stat, and persist through deactivation;
+* files live under context names (``/home/alice/...``), so any site opens
+  them by name;
+* a file is Move()d next to a heavy reader (migration as a locality
+  optimisation), and the reader's latency drops accordingly.
+
+Run:  python examples/distributed_files.py
+"""
+
+from repro import LegionSystem, LegionObjectImpl, SiteSpec, legion_method
+
+
+class LegionFile(LegionObjectImpl):
+    """A file as a Legion object: content + metadata, fully persistent."""
+
+    def __init__(self, content: str = "", owner: str = "unknown") -> None:
+        self.content = content
+        self.owner = owner
+        self.version = 0
+
+    def persistent_attributes(self):
+        return ["content", "owner", "version"]
+
+    @legion_method("string Read()")
+    def read(self) -> str:
+        return self.content
+
+    @legion_method("string ReadRange(int, int)")
+    def read_range(self, start: int, end: int) -> str:
+        return self.content[start:end]
+
+    @legion_method("int Write(string)")
+    def write(self, content: str) -> int:
+        self.content = content
+        self.version += 1
+        return self.version
+
+    @legion_method("int Append(string)")
+    def append(self, more: str) -> int:
+        self.content += more
+        self.version += 1
+        return self.version
+
+    @legion_method("stat Stat()")
+    def stat(self) -> dict:
+        return {
+            "size": len(self.content),
+            "owner": self.owner,
+            "version": self.version,
+        }
+
+
+def timed_call(system, *args, **kwargs):
+    t0 = system.kernel.now
+    value = system.call(*args, **kwargs)
+    return value, system.kernel.now - t0
+
+
+def main() -> None:
+    system = LegionSystem.build(
+        [SiteSpec("virginia", hosts=2), SiteSpec("caltech", hosts=2)], seed=7
+    )
+    file_class = system.create_class("LegionFile", factory=LegionFile)
+
+    print("== a home directory in the single persistent name space ==")
+    home = system.context.subcontext("home")
+    alice = home.subcontext("alice")
+    notes = system.call(
+        file_class.loid,
+        "Create",
+        {
+            "init": {"content": "wide-area notes\n", "owner": "alice"},
+            "magistrate": system.magistrates["virginia"].loid,
+        },
+    )
+    alice.bind("notes.txt", notes.loid)
+    system.bind_name("home/alice/data.csv", system.call(
+        file_class.loid,
+        "Create",
+        {"init": {"content": "x,y\n1,2\n", "owner": "alice"},
+         "magistrate": system.magistrates["virginia"].loid},
+    ).loid)
+    print(f"   names: {system.context.list('home')}")
+
+    print("\n== any site opens files by name ==")
+    print(f"   Read('/home/alice/notes.txt') -> "
+          f"{system.call('home/alice/notes.txt', 'Read')!r}")
+    system.call("home/alice/notes.txt", "Append", "appended from the console\n")
+    print(f"   Stat -> {system.call('home/alice/notes.txt', 'Stat')}")
+
+    print("\n== files persist through deactivation ==")
+    row = system.call(file_class.loid, "GetRow", notes.loid)
+    system.call(row.current_magistrates[0], "Deactivate", notes.loid)
+    print(f"   deactivated; Read() -> "
+          f"{system.call('home/alice/notes.txt', 'Read')!r}  (reactivated)")
+
+    print("\n== migrating a file next to its reader ==")
+    remote_reader = system.new_client("caltech-user", site="caltech")
+    _, cold = timed_call(
+        system, notes.loid, "Read", client=remote_reader
+    )
+    _, before = timed_call(
+        system, notes.loid, "Read", client=remote_reader
+    )
+    print(f"   caltech reads virginia-hosted file: {before:.1f} ms/call (warm)")
+    system.call(
+        row.current_magistrates[0],
+        "Move",
+        notes.loid,
+        system.magistrates["caltech"].loid,
+    )
+    _, first = timed_call(system, notes.loid, "Read", client=remote_reader)
+    _, after = timed_call(system, notes.loid, "Read", client=remote_reader)
+    print(f"   after Move() to caltech:              {after:.1f} ms/call (warm)")
+    print(f"   speedup from locality: {before / after:.0f}x")
+    stat = system.call(notes.loid, "Stat", client=remote_reader)
+    print(f"   content and version survived the move: {stat}")
+
+
+if __name__ == "__main__":
+    main()

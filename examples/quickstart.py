@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: a two-site Legion, one user class, the full object lifecycle.
+
+Builds a simulated wide-area Legion (two organisations, two hosts each),
+derives a user class from LegionObject at run time, creates an instance
+through the class/magistrate/host cooperation of paper section 4.2, calls
+it through the binding mechanism of section 4.1, and walks it through the
+Active/Inert lifecycle of section 3.1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LegionSystem, LegionObjectImpl, SiteSpec, legion_method
+
+
+class Counter(LegionObjectImpl):
+    """A minimal stateful Legion object."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def persistent_attributes(self):
+        # These attributes go into the Object Persistent Representation,
+        # so the counter survives deactivation and migration.
+        return ["value"]
+
+    @legion_method("int Increment(int)")
+    def increment(self, amount: int) -> int:
+        self.value += amount
+        return self.value
+
+    @legion_method("int Get()")
+    def get(self) -> int:
+        return self.value
+
+
+def main() -> None:
+    print("== bringing up a two-site Legion (section 4.2.1 bootstrap) ==")
+    system = LegionSystem.build(
+        [SiteSpec("uva", hosts=2), SiteSpec("doe", hosts=2)], seed=2026
+    )
+    print(f"   sites: {[s.name for s in system.sites]}")
+    print(f"   core classes: {sorted(system.core.servers)}")
+
+    print("\n== deriving a user class from LegionObject (Derive, Fig. 4) ==")
+    counter_class = system.create_class("Counter", factory=Counter)
+    print(f"   class object: {counter_class.loid} at {counter_class.address}")
+
+    print("\n== creating an instance (Create, Fig. 3) ==")
+    counter = system.create_instance(counter_class.loid, context_name="demo/counter")
+    print(f"   instance: {counter.loid} running at {counter.address}")
+    print(f"   context name 'demo/counter' -> {system.lookup('demo/counter')}")
+
+    print("\n== invoking methods (non-blocking invocation, section 2) ==")
+    print(f"   Increment(5)  -> {system.call('demo/counter', 'Increment', 5)}")
+    print(f"   Increment(7)  -> {system.call('demo/counter', 'Increment', 7)}")
+    print(f"   Get()         -> {system.call('demo/counter', 'Get')}")
+    iface = system.call("demo/counter", "GetInterface")
+    print(f"   GetInterface() exports {len(iface)} methods, e.g. {iface.find('Increment', 1)}")
+
+    print("\n== the Active/Inert lifecycle (section 3.1, Fig. 11) ==")
+    row = system.call(counter_class.loid, "GetRow", counter.loid)
+    magistrate = row.current_magistrates[0]
+    system.call(magistrate, "Deactivate", counter.loid)
+    vaults = {n: j.vault.opr_count for n, j in system.jurisdictions.items()}
+    print(f"   deactivated; OPRs per jurisdiction vault: {vaults}")
+    print("   referencing the Inert object transparently reactivates it:")
+    print(f"   Get() -> {system.call('demo/counter', 'Get')}  (state preserved)")
+
+    print("\n== what the binding machinery did ==")
+    console = system.console
+    print(f"   console binding-cache hit rate: {console.runtime.cache.stats.hit_rate:.2f}")
+    print(f"   stale bindings detected+repaired: {console.runtime.stats.stale_detected}")
+    print(f"   network messages total: {system.network.stats.messages_sent}")
+    print(f"   simulated time elapsed: {system.kernel.now:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The sandboxed environment has setuptools 65 and no `wheel` package, so
+PEP 660 editable installs (`pip install -e .` via pyproject only) fail with
+"invalid command 'bdist_wheel'".  This shim lets pip fall back to the
+legacy `setup.py develop` editable path.  All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Binding Agents and the binding mechanism (sections 3.6, 4.1).
+
+* :class:`BindingAgentImpl` -- "a Binding Agent acts on behalf of other
+  Legion objects to bind LOIDs to Object Addresses", exporting the
+  paper's GetBinding / InvalidateBinding / AddBinding member functions
+  (Fig. 15), with a cache, an optional parent agent (for hierarchies),
+  and the class-object fallback.
+* :mod:`repro.binding.resolver` -- the full resolution procedure of
+  sections 4.1.2-4.1.3: locating the responsible class by LOID field
+  surgery or via LegionClass's responsibility pairs, recursively, with
+  caching at every step.
+* :mod:`repro.binding.hierarchy` -- builders for k-ary combining trees of
+  Binding Agents (section 5.2.2: "by constructing a k-ary tree of Binding
+  Agents, eliminating traffic from 'leaf' Binding Agents to LegionClass,
+  we can arbitrarily reduce the load placed on LegionClass").
+"""
+
+from repro.binding.agent import BindingAgentImpl
+from repro.binding.hierarchy import build_agent_tree
+from repro.binding.resolver import locate_class_binding, resolve_loid
+
+__all__ = [
+    "BindingAgentImpl",
+    "build_agent_tree",
+    "locate_class_binding",
+    "resolve_loid",
+]

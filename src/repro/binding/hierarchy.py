@@ -1,0 +1,84 @@
+"""Combining trees of Binding Agents (paper section 5.2.2, ref [9]).
+
+"By constructing a k-ary tree of Binding Agents, eliminating traffic from
+'leaf' Binding Agents to LegionClass, we can arbitrarily reduce the load
+placed on LegionClass.  In essence, Binding Agents could be organized to
+implement a software combining tree."
+
+:func:`build_agent_tree` wires such a tree out of a caller-supplied spawn
+function, so it works for any placement strategy (one agent per site, all
+on one host, ...).  The root escalates to class objects; every other tier
+escalates to its parent; clients attach to the leaves.  Cache hits at any
+tier absorb ("combine") requests that would otherwise all reach
+LegionClass and the class objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.naming.binding import Binding
+
+#: spawn_agent(parent, level, index) -> Binding of the new agent.
+SpawnAgent = Callable[[Optional[Binding], int, int], Binding]
+
+
+@dataclass
+class AgentTree:
+    """The wired tree: leaves (client-facing) plus every tier for metrics."""
+
+    root: Binding
+    #: tiers[0] == [root]; tiers[-1] are the leaves.
+    tiers: List[List[Binding]] = field(default_factory=list)
+
+    @property
+    def leaves(self) -> List[Binding]:
+        """The agents clients should be attached to."""
+        return self.tiers[-1]
+
+    @property
+    def agent_count(self) -> int:
+        """Total agents in the tree."""
+        return sum(len(tier) for tier in self.tiers)
+
+    @property
+    def depth(self) -> int:
+        """Number of tiers (1 == a single root agent, no tree)."""
+        return len(self.tiers)
+
+
+def build_agent_tree(spawn_agent: SpawnAgent, leaf_count: int, fanout: int) -> AgentTree:
+    """Build a k-ary combining tree with at least ``leaf_count`` leaves.
+
+    ``fanout`` is k.  With ``fanout <= 1`` or ``leaf_count == 1`` the
+    "tree" degenerates to a single root agent (the flat configuration the
+    E3 experiment compares against is many *independent* root agents,
+    built by calling ``spawn_agent(None, ...)`` directly).
+
+    Tiers are built top-down; each tier has ``fanout`` times the agents of
+    the one above, stopping once a tier can serve ``leaf_count`` leaves.
+    Children are distributed round-robin over the tier above, so every
+    leaf's escalation path has the same length.
+    """
+    if leaf_count < 1:
+        raise ValueError(f"leaf_count must be >= 1, got {leaf_count}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+
+    root = spawn_agent(None, 0, 0)
+    tiers: List[List[Binding]] = [[root]]
+    if fanout == 1 or leaf_count == 1:
+        return AgentTree(root=root, tiers=tiers)
+
+    while len(tiers[-1]) < leaf_count:
+        parents = tiers[-1]
+        width = min(len(parents) * fanout, leaf_count)
+        level = len(tiers)
+        tier = [
+            spawn_agent(parents[i % len(parents)], level, i) for i in range(width)
+        ]
+        tiers.append(tier)
+        if width == leaf_count:
+            break
+    return AgentTree(root=root, tiers=tiers)

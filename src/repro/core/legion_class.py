@@ -1,0 +1,774 @@
+"""Class objects: the class-mandatory member functions (sections 2.1, 3.7).
+
+"Each class object exports class-mandatory member functions to create new
+instances (Create()) and subclasses (Derive()), to delete instances and
+subclasses (Delete()), and to find instances and subclasses (GetBinding()).
+A class object is responsible for assigning LOIDs to its instances and
+subclasses upon their creation."
+
+:class:`ClassObjectImpl` implements all of that, plus:
+
+* the **logical table** of Fig. 16 (via :mod:`repro.core.table`), kept
+  current by notification methods magistrates call on lifecycle events;
+* **InheritFrom()** -- the active, run-time multiple-inheritance step that
+  alters the composition (interface *and* implementation chain) of future
+  instances;
+* the **Abstract / Private / Fixed** class types (section 2.1.2);
+* **cloning** (section 5.2.2): "the cloned class is derived from the
+  heavily used class without changing the interface in any way.  New
+  instantiation and derivation requests are passed to the cloned object,
+  making it responsible for the new objects";
+* the reflective field hooks ("objects may be given the opportunity by
+  their class to directly manipulate these fields", section 3.7).
+
+Class objects are themselves ordinary active Legion objects: creation and
+derivation go through a Magistrate and a Host Object exactly like any
+other object (section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BindingNotFound,
+    ObjectDeleted,
+    ObjectModelError,
+    RequestRefused,
+    SchedulingError,
+    UnknownObject,
+)
+from repro.core.class_types import ClassFlavor
+from repro.core.method import InvocationContext
+from repro.core.object_base import (
+    LegionObjectImpl,
+    OBJECT_MANDATORY_INTERFACE,
+    legion_method,
+)
+from repro.core.table import LogicalTable, TableRow
+from repro.idl.interface import Interface
+from repro.naming.binding import Binding, NEVER_EXPIRES
+from repro.naming.loid import LOID, derive_public_key
+from repro.persistence.opr import OPRecord
+from repro.security.environment import CallEnvironment
+
+#: Factory-registry name under which the class-object implementation itself
+#: is registered; Derive() creates new class objects through it.
+CLASS_OBJECT_FACTORY = "legion.class-object"
+
+
+class ClassObjectImpl(LegionObjectImpl):
+    """A Legion class object.  See module docstring."""
+
+    def __init__(
+        self,
+        class_name: str,
+        class_id: int,
+        flavor: ClassFlavor = ClassFlavor.REGULAR,
+        instance_factory: str = "",
+        instance_init: Optional[Dict[str, Any]] = None,
+        instance_interface: Optional[Interface] = None,
+        superclass: Optional[LOID] = None,
+        candidate_magistrates: Optional[List[LOID]] = None,
+        scheduling_agent: Optional[LOID] = None,
+        binding_ttl: Optional[float] = None,
+        instance_component_kind: str = "application",
+        base_chain: Optional[List[Tuple[str, Dict[str, Any]]]] = None,
+        bases: Optional[List[LOID]] = None,
+        next_sequence: int = 1,
+    ) -> None:
+        self.class_name = class_name
+        self.class_id = class_id
+        if isinstance(flavor, int):  # OPR round-trips flags as ints
+            flavor = ClassFlavor(flavor)
+        self.flavor = flavor
+        self.instance_factory = instance_factory
+        self.instance_init = dict(instance_init or {})
+        self.instance_interface = instance_interface or OBJECT_MANDATORY_INTERFACE
+        self.superclass = superclass
+        self.candidate_magistrates = (
+            list(candidate_magistrates) if candidate_magistrates is not None else None
+        )
+        self.scheduling_agent = scheduling_agent
+        self.binding_ttl = binding_ttl
+        self.instance_component_kind = instance_component_kind
+        #: Implementation chain contributed by InheritFrom() bases.
+        self.base_chain: List[Tuple[str, Dict[str, Any]]] = list(base_chain or [])
+        self.bases: List[LOID] = list(bases or [])
+        self.table = LogicalTable()
+        self._next_sequence = next_sequence
+        self._magistrate_rr = 0
+        #: Binding Agents subscribed to explicit invalidation news
+        #: (section 4.1.4: "some classes may even attempt to reduce the
+        #: number of stale bindings by explicitly propagating news of an
+        #: object's migration or removal").
+        self.invalidation_subscribers: List[Binding] = []
+        #: Clones (section 5.2.2): bindings of classes now responsible for
+        #: new creations; round-robin when non-empty.
+        self.clones: List[Binding] = []
+        self._clone_rr = 0
+
+    # ------------------------------------------------------------------ identity
+
+    def persistent_attributes(self) -> List[str]:
+        return [
+            "class_name",
+            "class_id",
+            "instance_factory",
+            "instance_init",
+            "superclass",
+            "candidate_magistrates",
+            "scheduling_agent",
+            "binding_ttl",
+            "instance_component_kind",
+            "base_chain",
+            "bases",
+            "_next_sequence",
+        ]
+
+    def _allocate_instance_loid(self) -> LOID:
+        """Assign a fresh instance LOID: our class_id + a sequence number."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return LOID.for_instance(self.class_id, sequence, self.services.secret)
+
+    def _binding_for(self, loid: LOID, address) -> Binding:
+        expires = (
+            NEVER_EXPIRES
+            if self.binding_ttl is None
+            else self.services.kernel.now + self.binding_ttl
+        )
+        return Binding(loid, address, expires)
+
+    # ------------------------------------------------------------ magistrate choice
+
+    def _choose_magistrate(self, hints: Dict[str, Any], env: CallEnvironment):
+        """Pick the Magistrate that will create/host a new object.
+
+        "Selecting these two objects is a scheduling decision that is left
+        up to the class, which may choose to employ the services of a
+        Scheduling Agent.  Some classes may allow the creating object to
+        suggest a Magistrate" (section 4.2).
+        """
+        hinted = hints.get("magistrate")
+        if hinted is not None:
+            if self.candidate_magistrates is not None and hinted not in self.candidate_magistrates:
+                raise SchedulingError(
+                    f"magistrate {hinted} is not a candidate for class {self.class_name}"
+                )
+            return hinted
+        if self.scheduling_agent is not None:
+            choice = yield from self.runtime.invoke(
+                self.scheduling_agent,
+                "ChooseMagistrate",
+                self.loid,
+                self.candidate_magistrates,
+                env=env,
+            )
+            if choice is None:
+                raise SchedulingError(
+                    f"scheduling agent {self.scheduling_agent} found no magistrate "
+                    f"for class {self.class_name}"
+                )
+            return choice
+        if self.candidate_magistrates:
+            self._magistrate_rr = (self._magistrate_rr + 1) % len(self.candidate_magistrates)
+            return self.candidate_magistrates[self._magistrate_rr]
+        raise SchedulingError(
+            f"class {self.class_name} knows no magistrates "
+            "(no hint, no scheduling agent, no candidates)"
+        )
+
+    # ------------------------------------------------------------------- Create
+
+    @legion_method("binding Create()")
+    def create_default(self, *, ctx: Optional[InvocationContext] = None):
+        """Create() with no hints."""
+        return self.create_with_hints({}, ctx=ctx)
+
+    @legion_method("binding Create(hints)")
+    def create_with_hints(self, hints: Dict[str, Any], *, ctx: Optional[InvocationContext] = None):
+        """Create a new instance; returns its Binding.
+
+        Recognised hints: ``magistrate`` (LOID suggestion), ``host`` (LOID
+        of a Host Object in the magistrate's jurisdiction), ``init``
+        (extra factory kwargs), ``no_delegate`` (bypass clone delegation,
+        used internally and by tests).
+        """
+        self.flavor.check_create(self.class_name)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+
+        if self.clones and not hints.get("no_delegate"):
+            # Section 5.2.2: pass new instantiation requests to a clone.
+            clone = self.clones[self._clone_rr % len(self.clones)]
+            self._clone_rr += 1
+            binding = yield from self.runtime.invoke(
+                clone.loid, "Create", hints, env=env
+            )
+            return binding
+
+        if not self.instance_factory:
+            raise ObjectModelError(
+                f"class {self.class_name} has no instance implementation registered"
+            )
+        loid = self._allocate_instance_loid()
+        magistrate = yield from self._choose_magistrate(hints, env)
+        init = dict(self.instance_init)
+        init.update(hints.get("init", {}))
+        chain: List[Tuple[str, Dict[str, Any]]] = [(self.instance_factory, init)]
+        chain.extend(self.base_chain)
+        opr = OPRecord(
+            loid=loid,
+            class_loid=self.loid,
+            factory_chain=chain,
+            component_kind=self.instance_component_kind,
+        )
+        address = yield from self.runtime.invoke(
+            magistrate, "CreateObject", opr, hints.get("host"), env=env
+        )
+        row = TableRow(
+            loid=loid,
+            object_address=address,
+            current_magistrates=[magistrate],
+            scheduling_agent=self.scheduling_agent,
+            candidate_magistrates=(
+                list(self.candidate_magistrates)
+                if self.candidate_magistrates is not None
+                else None
+            ),
+        )
+        self.table.add(row)
+        if self.services.relations is not None:
+            self.services.relations.record_is_a(loid, self.loid)
+        return self._binding_for(loid, address)
+
+    @legion_method("binding CreateReplicated(int, string, int)")
+    def create_replicated(
+        self, n: int, semantic: str, k: int, *, ctx: Optional[InvocationContext] = None
+    ):
+        """Create one object implemented as ``n`` replica processes (4.3).
+
+        "Replicating an object at the Legion level is a matter of creating
+        an Object Address with multiple physical addresses in its list,
+        assigning the address semantic appropriately, and binding the LOID
+        of the object to this Object Address."  Replicas are spread
+        round-robin over the candidate magistrates (and over hosts within
+        each jurisdiction).  ``semantic`` is an
+        :class:`~repro.net.address.AddressSemantic` value string.
+        """
+        from repro.net.address import AddressSemantic, ObjectAddress
+
+        self.flavor.check_create(self.class_name)
+        if n < 1:
+            raise ObjectModelError(f"replica count must be >= 1, got {n}")
+        if not self.instance_factory:
+            raise ObjectModelError(
+                f"class {self.class_name} has no instance implementation registered"
+            )
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        loid = self._allocate_instance_loid()
+        chain: List[Tuple[str, Dict[str, Any]]] = [
+            (self.instance_factory, dict(self.instance_init))
+        ]
+        chain.extend(self.base_chain)
+        opr = OPRecord(
+            loid=loid,
+            class_loid=self.loid,
+            factory_chain=chain,
+            component_kind=self.instance_component_kind,
+        )
+        elements = []
+        magistrates_used: List[LOID] = []
+        for _i in range(n):
+            magistrate = yield from self._choose_magistrate({}, env)
+            address = yield from self.runtime.invoke(
+                magistrate, "CreateReplica", opr, None, env=env
+            )
+            elements.append(address.primary())
+            if magistrate not in magistrates_used:
+                magistrates_used.append(magistrate)
+        combined = ObjectAddress.replicated(
+            elements, semantic=AddressSemantic(semantic), k=k
+        )
+        row = TableRow(
+            loid=loid,
+            object_address=combined,
+            current_magistrates=magistrates_used,
+            scheduling_agent=self.scheduling_agent,
+            candidate_magistrates=(
+                list(self.candidate_magistrates)
+                if self.candidate_magistrates is not None
+                else None
+            ),
+        )
+        self.table.add(row)
+        if self.services.relations is not None:
+            self.services.relations.record_is_a(loid, self.loid)
+        return self._binding_for(loid, combined)
+
+    @legion_method("binding ReportDeadReplica(LOID, element)")
+    def report_dead_replica(self, loid: LOID, element, *, ctx: Optional[InvocationContext] = None):
+        """Shrink a replica group after a member failed; returns the new
+        binding (or raises BindingNotFound when no replica remains)."""
+        row = self.table.find(loid)
+        if row is None:
+            raise UnknownObject(f"class {self.class_name} never created {loid}")
+        if row.deleted:
+            raise ObjectDeleted(f"{loid} was deleted")
+        if row.object_address is None:
+            raise BindingNotFound(f"{loid} has no current address", loid=loid)
+        shrunk = row.object_address.without(element)
+        if shrunk is None:
+            row.object_address = None
+            raise BindingNotFound(
+                f"last replica of {loid} reported dead", loid=loid
+            )
+        row.object_address = shrunk
+        return self._binding_for(loid, shrunk)
+
+    # -------------------------------------------------------------------- Derive
+
+    @legion_method("binding Derive(string)")
+    def derive_named(self, name: str, *, ctx: Optional[InvocationContext] = None):
+        """Derive(name) with default options."""
+        return self.derive_with_options(name, {}, ctx=ctx)
+
+    @legion_method("binding Derive(string, options)")
+    def derive_with_options(
+        self, name: str, options: Dict[str, Any], *, ctx: Optional[InvocationContext] = None
+    ):
+        """Create a subclass; returns the new class object's Binding.
+
+        The new class inherits this class's instance interface, factory,
+        implementation chain, candidate magistrates, and scheduling agent,
+        each overridable through ``options`` (keys: ``instance_factory``,
+        ``instance_init``, ``flavor``, ``candidate_magistrates``,
+        ``scheduling_agent``, ``binding_ttl``, ``magistrate``, ``host``,
+        ``instance_component_kind``).
+        """
+        self.flavor.check_derive(self.class_name)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+
+        if self.clones and not options.get("no_delegate"):
+            clone = self.clones[self._clone_rr % len(self.clones)]
+            self._clone_rr += 1
+            binding = yield from self.runtime.invoke(
+                clone.loid, "Derive", name, options, env=env
+            )
+            return binding
+
+        legion_class = self.services.well_known_loid("LegionClass")
+        new_class_id = yield from self.runtime.invoke(
+            legion_class, "AllocateClassID", self.loid, name, env=env
+        )
+        new_loid = LOID.for_class(new_class_id, self.services.secret)
+
+        flavor = options.get("flavor", ClassFlavor.REGULAR)
+        init = {
+            "class_name": name,
+            "class_id": new_class_id,
+            "flavor": flavor.value if isinstance(flavor, ClassFlavor) else flavor,
+            "instance_factory": options.get("instance_factory", self.instance_factory),
+            "instance_init": options.get("instance_init", dict(self.instance_init)),
+            "instance_interface": options.get(
+                "instance_interface", self.instance_interface
+            ),
+            "superclass": self.loid,
+            "candidate_magistrates": options.get(
+                "candidate_magistrates",
+                list(self.candidate_magistrates)
+                if self.candidate_magistrates is not None
+                else None,
+            ),
+            "scheduling_agent": options.get("scheduling_agent", self.scheduling_agent),
+            "binding_ttl": options.get("binding_ttl", self.binding_ttl),
+            "instance_component_kind": options.get(
+                "instance_component_kind", self.instance_component_kind
+            ),
+            "base_chain": list(self.base_chain),
+            "bases": list(self.bases),
+        }
+        opr = OPRecord(
+            loid=new_loid,
+            class_loid=self.loid,
+            factory_chain=[(CLASS_OBJECT_FACTORY, init)],
+            component_kind="class-object",
+        )
+        magistrate = yield from self._choose_magistrate(options, env)
+        address = yield from self.runtime.invoke(
+            magistrate, "CreateObject", opr, options.get("host"), env=env
+        )
+        row = TableRow(
+            loid=new_loid,
+            object_address=address,
+            current_magistrates=[magistrate],
+            scheduling_agent=self.scheduling_agent,
+            candidate_magistrates=(
+                list(self.candidate_magistrates)
+                if self.candidate_magistrates is not None
+                else None
+            ),
+            is_subclass=True,
+        )
+        self.table.add(row)
+        if self.services.relations is not None:
+            self.services.relations.record_kind_of(new_loid, self.loid)
+        return self._binding_for(new_loid, address)
+
+    # --------------------------------------------------------------- InheritFrom
+
+    @legion_method("InheritFrom(LOID)")
+    def inherit_from(self, base: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Add a base class: merge its instance interface and impl chain.
+
+        "Invoking InheritFrom() on an existing class object A, and passing
+        the name of an existing class object B, causes A to inherit from
+        B" -- an active, run-time process affecting *future* instances.
+        """
+        yield from self.inherit_from_selective(base, None, ctx=ctx)
+
+    @legion_method("InheritFrom(LOID, list)")
+    def inherit_from_selective(
+        self,
+        base: LOID,
+        only: Optional[List[str]],
+        *,
+        ctx: Optional[InvocationContext] = None,
+    ):
+        """InheritFrom with component selection.
+
+        The paper's footnote: "Legion may allow a class to select the
+        components that it wishes to inherit from its superclass."  We
+        support it for InheritFrom bases: ``only`` is a list of method
+        names to take from the base (None means all).  The base's
+        implementation chain is still spliced in -- the parts are one
+        implementation -- but the selection is enforced at dispatch by an
+        exposure filter recorded in the factory chain, so unselected
+        methods neither appear in the interface nor execute.
+        """
+        self.flavor.check_inherit_from(self.class_name)
+        if not base.is_class:
+            raise ObjectModelError(f"InheritFrom target {base} is not a class object")
+        if base.identity == self.loid.identity:
+            raise ObjectModelError(f"class {self.class_name} cannot inherit from itself")
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        base_interface = yield from self.runtime.invoke(
+            base, "GetInstanceInterface", env=env
+        )
+        base_spec = yield from self.runtime.invoke(
+            base, "GetImplementationSpec", env=env
+        )
+        if only is not None:
+            base_interface = base_interface.restricted_to(only)
+        # Record the relation first: it validates against cycles.
+        if self.services.relations is not None:
+            self.services.relations.record_inherits_from(self.loid, base)
+        self.instance_interface = self.instance_interface.merged_with(
+            base_interface, name=self.class_name
+        )
+        known = {entry[0] for entry in self.base_chain}
+        known.add(self.instance_factory)
+        for factory, init in base_spec:
+            if factory not in known:
+                entry_init = dict(init)
+                if only is not None:
+                    entry_init["__expose__"] = list(only)
+                self.base_chain.append((factory, entry_init))
+                known.add(factory)
+        if base not in self.bases:
+            self.bases.append(base)
+
+    # ------------------------------------------------------------------- Delete
+
+    @legion_method("Delete(LOID)")
+    def delete_object(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Remove an instance or subclass from existence (section 3.8).
+
+        Both Active and Inert copies are removed; later GetBinding()
+        requests for the LOID report the deletion.
+        """
+        row = self.table.find(loid)
+        if row is None:
+            raise UnknownObject(f"class {self.class_name} never created {loid}")
+        if row.deleted:
+            return  # idempotent
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        for magistrate in list(row.current_magistrates):
+            yield from self.runtime.invoke(magistrate, "Delete", loid, env=env)
+        self.table.mark_deleted(loid)
+        if self.services.relations is not None:
+            self.services.relations.forget(loid)
+        self._propagate("invalidate", loid)
+
+    # ----------------------------------------------------------------- GetBinding
+
+    @legion_method("binding GetBinding(LOID)")
+    def get_binding(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Find an instance/subclass: the class's side of section 4.1.2.
+
+        Consults the logical table; if the Object Address field is NIL the
+        class asks a Current Magistrate to Activate() the object -- so
+        referring to an Inert object's LOID activates it.
+
+        Overloading note: the paper's GetBinding(LOID) and
+        GetBinding(binding) share a name and arity, so this method accepts
+        either; a Binding argument means "this binding is stale, give me a
+        fresh one" and is routed to :meth:`get_binding_stale`.
+        """
+        if isinstance(loid, Binding):
+            result = yield from self.get_binding_stale(loid, ctx=ctx)
+            return result
+        row = self.table.find(loid)
+        if row is None:
+            raise UnknownObject(f"class {self.class_name} never created {loid}")
+        if row.deleted:
+            raise ObjectDeleted(f"{loid} was deleted")
+        if row.object_address is not None:
+            return self._binding_for(loid, row.object_address)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        for magistrate in list(row.current_magistrates):
+            try:
+                address = yield from self.runtime.invoke(
+                    magistrate, "Activate", loid, env=env
+                )
+            except RequestRefused:
+                continue
+            row.object_address = address
+            return self._binding_for(loid, address)
+        raise BindingNotFound(
+            f"class {self.class_name} cannot produce a binding for {loid}: "
+            f"no Object Address and no magistrate could activate it",
+            loid=loid,
+        )
+
+    @legion_method("binding GetBindingStale(binding)")
+    def get_binding_stale(self, stale: Binding, *, ctx: Optional[InvocationContext] = None):
+        """GetBinding(binding): the caller's binding didn't work.
+
+        If our table still holds the same address, it is stale knowledge:
+        clear it and re-resolve through a magistrate.
+        """
+        row = self.table.find(stale.loid)
+        if row is None:
+            raise UnknownObject(f"class {self.class_name} never created {stale.loid}")
+        if row.deleted:
+            raise ObjectDeleted(f"{stale.loid} was deleted")
+        if row.object_address == stale.address:
+            if row.object_address is not None and len(row.object_address) > 1:
+                # A replica group: a partial failure does not invalidate
+                # the group address -- the semantic (FIRST/ANY/K-of-N)
+                # handles it, and ReportDeadReplica() shrinks the group.
+                return self._binding_for(stale.loid, row.object_address)
+            if not row.current_magistrates:
+                # An out-of-band object (bootstrap host/magistrate/agent):
+                # no magistrate could ever re-activate it, so clearing the
+                # address would lose the object forever.  The caller's
+                # failure may be transient (timeout, partition); keep the
+                # address and let the caller's retry budget decide.
+                return self._binding_for(stale.loid, row.object_address)
+            row.object_address = None
+        result = yield from self.get_binding(stale.loid, ctx=ctx)
+        return result
+
+    # --------------------------------------------------------- lifecycle notifications
+
+    @legion_method("SubscribeInvalidations(binding)")
+    def subscribe_invalidations(self, agent: Binding) -> None:
+        """A Binding Agent asks to be told about migrations and removals.
+
+        Subscribed agents receive one-way EVENTs ("invalidate", loid) when
+        an object's address dies and ("add-binding", binding) when a new
+        address is known -- the explicit propagation of section 4.1.4.
+        """
+        if all(a.loid != agent.loid for a in self.invalidation_subscribers):
+            self.invalidation_subscribers.append(agent)
+
+    def _propagate(self, kind: str, payload) -> None:
+        """Fan one-way news out to every subscribed agent."""
+        for agent in self.invalidation_subscribers:
+            self.runtime.send_event(agent.address.primary(), (kind, payload))
+
+    @legion_method("NoteActivated(LOID, address, LOID)")
+    def note_activated(self, loid: LOID, address, magistrate: LOID) -> None:
+        """A magistrate reports it activated one of our objects."""
+        row = self.table.find(loid)
+        if row is None or row.deleted:
+            return
+        row.object_address = address
+        if magistrate not in row.current_magistrates:
+            row.current_magistrates.append(magistrate)
+        self._propagate("add-binding", self._binding_for(loid, address))
+
+    @legion_method("NoteDeactivated(LOID, LOID)")
+    def note_deactivated(self, loid: LOID, magistrate: LOID) -> None:
+        """A magistrate reports it deactivated one of our objects."""
+        row = self.table.find(loid)
+        if row is None or row.deleted:
+            return
+        row.object_address = None
+        if magistrate not in row.current_magistrates:
+            row.current_magistrates.append(magistrate)
+        self._propagate("invalidate", loid)
+
+    @legion_method("NoteMigrated(LOID, LOID, LOID)")
+    def note_migrated(self, loid: LOID, source: LOID, target: LOID) -> None:
+        """A Move() completed: responsibility changed magistrates."""
+        row = self.table.find(loid)
+        if row is None or row.deleted:
+            return
+        if source in row.current_magistrates:
+            row.current_magistrates.remove(source)
+        if target not in row.current_magistrates:
+            row.current_magistrates.append(target)
+        row.object_address = None
+        self._propagate("invalidate", loid)
+
+    @legion_method("NoteCopied(LOID, LOID)")
+    def note_copied(self, loid: LOID, target: LOID) -> None:
+        """A Copy() completed: another magistrate now holds an OPR too."""
+        row = self.table.find(loid)
+        if row is None or row.deleted:
+            return
+        if target not in row.current_magistrates:
+            row.current_magistrates.append(target)
+
+    @legion_method("RegisterOutOfBand(binding)")
+    def register_out_of_band(self, binding: Binding) -> None:
+        """Adopt an instance started outside Legion (section 4.2.1).
+
+        "Host Objects are started from outside Legion ... they are
+        responsible for contacting LegionHost to notify it of the Host
+        Object's existence and address.  Magistrates also get started
+        'outside' of Legion, and they too contact their class."  The
+        object enters the logical table so it is locatable like any
+        normally created instance; it has no Current Magistrate (nothing
+        manages its lifecycle but itself).
+        """
+        if binding.loid in self.table:
+            self.table.set_address(binding.loid, binding.address)
+            return
+        # Keep our sequence counter ahead of externally assigned LOIDs so
+        # later Create() calls cannot collide with bootstrap instances.
+        if (
+            binding.loid.class_id == self.class_id
+            and binding.loid.class_specific >= self._next_sequence
+        ):
+            self._next_sequence = binding.loid.class_specific + 1
+        self.table.add(
+            TableRow(
+                loid=binding.loid,
+                object_address=binding.address,
+                current_magistrates=[],
+                scheduling_agent=self.scheduling_agent,
+            )
+        )
+        if self.services.relations is not None:
+            self.services.relations.record_is_a(binding.loid, self.loid)
+
+    # ----------------------------------------------------------- interface queries
+
+    @legion_method("interface GetInstanceInterface()")
+    def get_instance_interface(self) -> Interface:
+        """The interface future instances of this class will export.
+
+        The union of (a) the interface contributed by this class's own
+        implementation factory (its exported methods), (b) the interface
+        inherited from the superclass at Derive() time, and (c) every
+        base's interface added by InheritFrom().
+        """
+        iface = self.instance_interface
+        factory = (
+            self.services.impls.get(self.instance_factory)
+            if self.services is not None and self.instance_factory
+            else None
+        )
+        if factory is not None and hasattr(factory, "exported_interface"):
+            iface = iface.merged_with(
+                factory.exported_interface(), name=self.class_name
+            )
+        return iface
+
+    @legion_method("spec GetImplementationSpec()")
+    def get_implementation_spec(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """The factory chain an inheritor should splice in (own + bases)."""
+        chain: List[Tuple[str, Dict[str, Any]]] = []
+        if self.instance_factory:
+            chain.append((self.instance_factory, dict(self.instance_init)))
+        chain.extend(self.base_chain)
+        return chain
+
+    # --------------------------------------------------------------- reflective hooks
+
+    @legion_method("SetSchedulingAgent(LOID, LOID)")
+    def set_scheduling_agent(self, loid: LOID, agent: LOID) -> None:
+        """Directly manipulate an object's Scheduling Agent field."""
+        self.table.get(loid).scheduling_agent = agent
+
+    @legion_method("SetCandidateMagistrates(LOID, list)")
+    def set_candidate_magistrates(self, loid: LOID, magistrates: Optional[List[LOID]]) -> None:
+        """Directly manipulate an object's Candidate Magistrate List."""
+        self.table.get(loid).candidate_magistrates = (
+            list(magistrates) if magistrates is not None else None
+        )
+
+    @legion_method("row GetRow(LOID)")
+    def get_row(self, loid: LOID) -> TableRow:
+        """Introspection: the logical-table row for one of our objects."""
+        return self.table.get(loid)
+
+    @legion_method("AddCandidateMagistrate(LOID)")
+    def add_candidate_magistrate(self, magistrate: LOID) -> None:
+        """Extend THIS class's candidate list (e.g. after a jurisdiction
+        split creates a new magistrate, section 2.2).  A None list means
+        'no restriction' and already admits the newcomer."""
+        if self.candidate_magistrates is not None and magistrate not in self.candidate_magistrates:
+            self.candidate_magistrates.append(magistrate)
+
+    @legion_method("RemoveCandidateMagistrate(LOID)")
+    def remove_candidate_magistrate(self, magistrate: LOID) -> None:
+        """Withdraw a magistrate from THIS class's candidate list."""
+        if self.candidate_magistrates is not None and magistrate in self.candidate_magistrates:
+            self.candidate_magistrates.remove(magistrate)
+
+    # --------------------------------------------------------------------- cloning
+
+    @legion_method("binding Clone()")
+    def clone_default(self, *, ctx: Optional[InvocationContext] = None):
+        """Clone() with no options."""
+        return self.clone_with_options({}, ctx=ctx)
+
+    @legion_method("binding Clone(options)")
+    def clone_with_options(self, options: Dict[str, Any], *, ctx: Optional[InvocationContext] = None):
+        """Relieve a hot class: derive an interface-identical clone.
+
+        The clone is registered so that subsequent Create()/Derive()
+        requests are passed to it round-robin (several clones may exist,
+        "with the different clones residing in different domains" --
+        use the ``magistrate`` option to place them).
+        """
+        opts = dict(options)
+        opts["no_delegate"] = True  # the clone is created by *us*, directly
+        name = opts.pop("name", f"{self.class_name}.clone{len(self.clones) + 1}")
+        binding = yield from self.derive_with_options(name, opts, ctx=ctx)
+        self.clones.append(binding)
+        return binding
+
+    @legion_method("int CloneCount()")
+    def clone_count(self) -> int:
+        """How many clones currently share this class's creation load."""
+        return len(self.clones)
+
+    @legion_method("list GetClones()")
+    def get_clones(self) -> List[Binding]:
+        """The clone bindings (for clients that spread their own requests).
+
+        Server-side forwarding keeps naive clients correct, but the load
+        only truly leaves the hot class when clients (or their binding
+        agents) learn the clones and go direct -- "the different clones
+        residing in different domains" (section 5.2.2).
+        """
+        return list(self.clones)
+
+
+#: The class-mandatory interface (what every Legion class object exports).
+CLASS_MANDATORY_INTERFACE = ClassObjectImpl.exported_interface("LegionClass")

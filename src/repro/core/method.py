@@ -1,0 +1,116 @@
+"""Method invocation as data.
+
+"Legion is an object-oriented system comprised of independent, address
+space disjoint objects that communicate with one another via method
+invocation.  Method calls are non-blocking and may be accepted in any
+order by the called object." (paper section 2)
+
+A :class:`MethodInvocation` is the payload of a REQUEST message: method
+name, positional arguments, and the (RA, SA, CA) call environment.  A
+:class:`MethodResult` is the payload of the REPLY: either a value or a
+marshalled error.  Errors cross the network as (type-name, message) pairs
+and are reconstructed as the closest :class:`~repro.errors.RemoteError`
+subclass at the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro import errors
+from repro.naming.loid import LOID
+from repro.security.environment import CallEnvironment
+
+#: Error type names that re-raise as themselves at the caller.
+_REMOTE_ERROR_TYPES = {
+    "MethodNotFound": errors.MethodNotFound,
+    "SecurityDenied": errors.SecurityDenied,
+    "RequestRefused": errors.RequestRefused,
+    "ObjectDeleted": errors.ObjectDeleted,
+    "BindingNotFound": errors.BindingNotFound,
+    "UnknownObject": errors.UnknownObject,
+    "AbstractClassError": errors.AbstractClassError,
+    "PrivateClassError": errors.PrivateClassError,
+    "FixedClassError": errors.FixedClassError,
+    "NoCapacity": errors.NoCapacity,
+    "HostError": errors.HostError,
+    "StorageError": errors.StorageError,
+    "LifecycleError": errors.LifecycleError,
+    "SchedulingError": errors.SchedulingError,
+    "InterfaceError": errors.InterfaceError,
+    "ObjectModelError": errors.ObjectModelError,
+    "ReplicationError": errors.ReplicationError,
+    "ContextError": errors.ContextError,
+}
+
+
+@dataclass(frozen=True)
+class MethodInvocation:
+    """One non-blocking method call travelling to a target object."""
+
+    target: LOID
+    method: str
+    args: Tuple[Any, ...]
+    env: CallEnvironment
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments; dispatch is by (method, arity)."""
+        return len(self.args)
+
+    def __str__(self) -> str:
+        return f"{self.target}.{self.method}/{self.arity}"
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """The reply to an invocation: a value, or a marshalled error."""
+
+    value: Any = None
+    error_type: str = ""
+    error_message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the invocation succeeded."""
+        return not self.error_type
+
+    @classmethod
+    def success(cls, value: Any = None) -> "MethodResult":
+        """A successful result."""
+        return cls(value=value)
+
+    @classmethod
+    def failure(cls, exc: BaseException) -> "MethodResult":
+        """Marshal an exception raised by the remote method."""
+        return cls(value=None, error_type=type(exc).__name__, error_message=str(exc))
+
+    def unwrap(self) -> Any:
+        """Return the value or raise the reconstructed remote error."""
+        if self.ok:
+            return self.value
+        exc_type = _REMOTE_ERROR_TYPES.get(self.error_type)
+        if exc_type is not None:
+            raise exc_type(self.error_message)
+        raise errors.InvocationFailed(
+            f"{self.error_type}: {self.error_message}", remote_type=self.error_type
+        )
+
+
+@dataclass
+class InvocationContext:
+    """Server-side context handed to method implementations.
+
+    Methods that declare a keyword-only ``ctx`` parameter receive one of
+    these; it carries the call environment (for policy decisions and for
+    forwarding nested calls with a correct CA) plus the identities involved.
+    """
+
+    env: CallEnvironment
+    target: LOID
+    method: str
+
+    def nested_env(self, self_loid: LOID) -> CallEnvironment:
+        """Environment for calls this method makes on other objects."""
+        return self.env.forwarded_by(self_loid)

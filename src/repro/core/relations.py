@@ -1,0 +1,207 @@
+"""The is-a / kind-of / inherits-from relation graph (paper Fig. 2).
+
+The three relations the class-mandatory member functions define
+(section 2.1.1):
+
+* **is-a** (Create): non-class object → its class.  "An object belongs to
+  exactly one class."
+* **kind-of** (Derive): subclass → superclass.  "A class ... is the
+  subclass of exactly one superclass."
+* **inherits-from** (InheritFrom): class → base class.  "A class can
+  inherit from, and be a base class for, any number of other classes."
+
+The graph is system-wide bookkeeping used for introspection, invariants
+(tests assert, e.g., that the union of kind-of and is-a has LegionObject's
+class as its only sink, per section 2.1.3), and the experiments' hierarchy
+construction.  It is *descriptive*: the authoritative state lives in the
+class objects' logical tables; this graph mirrors it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import ObjectModelError
+from repro.naming.loid import LOID
+
+
+class RelationKind(enum.Enum):
+    """The three edge flavours of Fig. 2."""
+
+    IS_A = "is-a"
+    KIND_OF = "kind-of"
+    INHERITS_FROM = "inherits-from"
+
+
+class RelationGraph:
+    """A typed multigraph over LOIDs recording the three relations.
+
+    Edges point from the dependent object to the one it relates to:
+    ``O --is-a--> C``, ``D --kind-of--> C``, ``C --inherits-from--> B``.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.MultiDiGraph()
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_is_a(self, instance: LOID, cls: LOID) -> None:
+        """O is-a C: set on Create().  At most one is-a edge per object."""
+        existing = self.class_of(instance)
+        if existing is not None:
+            raise ObjectModelError(
+                f"{instance} already is-a {existing}; an object belongs to "
+                "exactly one class"
+            )
+        self._graph.add_edge(instance, cls, kind=RelationKind.IS_A)
+
+    def record_kind_of(self, subclass: LOID, superclass: LOID) -> None:
+        """D kind-of C: set on Derive().  At most one superclass."""
+        existing = self.superclass_of(subclass)
+        if existing is not None:
+            raise ObjectModelError(
+                f"{subclass} already kind-of {existing}; a class is the "
+                "subclass of exactly one superclass"
+            )
+        self._graph.add_edge(subclass, superclass, kind=RelationKind.KIND_OF)
+
+    def record_inherits_from(self, cls: LOID, base: LOID) -> None:
+        """C inherits-from B: set on InheritFrom().  Many allowed."""
+        if base in self.bases_of(cls):
+            return  # idempotent
+        if cls == base:
+            raise ObjectModelError(f"{cls} cannot inherit from itself")
+        # Reject inheritance cycles: the paper's inheritance is an active,
+        # run-time process, and a cycle would make interface merging
+        # non-terminating.
+        if cls in self._inherits_closure(base):
+            raise ObjectModelError(
+                f"inherits-from cycle: {base} already (transitively) inherits from {cls}"
+            )
+        self._graph.add_edge(cls, base, kind=RelationKind.INHERITS_FROM)
+
+    def forget(self, loid: LOID) -> None:
+        """Remove an object and its incident edges (Delete())."""
+        if self._graph.has_node(loid):
+            self._graph.remove_node(loid)
+
+    # -- single-step queries --------------------------------------------------------
+
+    def _out_neighbours(self, loid: LOID, kind: RelationKind) -> List[LOID]:
+        if not self._graph.has_node(loid):
+            return []
+        return [
+            v
+            for _u, v, data in self._graph.out_edges(loid, data=True)
+            if data["kind"] is kind
+        ]
+
+    def _in_neighbours(self, loid: LOID, kind: RelationKind) -> List[LOID]:
+        if not self._graph.has_node(loid):
+            return []
+        return [
+            u
+            for u, _v, data in self._graph.in_edges(loid, data=True)
+            if data["kind"] is kind
+        ]
+
+    def class_of(self, instance: LOID) -> Optional[LOID]:
+        """The unique class an object is-a, or None."""
+        classes = self._out_neighbours(instance, RelationKind.IS_A)
+        return classes[0] if classes else None
+
+    def superclass_of(self, cls: LOID) -> Optional[LOID]:
+        """The unique superclass a class is kind-of, or None (roots)."""
+        supers = self._out_neighbours(cls, RelationKind.KIND_OF)
+        return supers[0] if supers else None
+
+    def bases_of(self, cls: LOID) -> List[LOID]:
+        """All base classes (inherits-from targets)."""
+        return self._out_neighbours(cls, RelationKind.INHERITS_FROM)
+
+    def instances_of(self, cls: LOID) -> List[LOID]:
+        """All recorded instances (is-a sources) of a class."""
+        return self._in_neighbours(cls, RelationKind.IS_A)
+
+    def subclasses_of(self, cls: LOID) -> List[LOID]:
+        """All direct subclasses (kind-of sources) of a class."""
+        return self._in_neighbours(cls, RelationKind.KIND_OF)
+
+    # -- transitive queries -------------------------------------------------------------
+
+    def ancestry(self, cls: LOID) -> List[LOID]:
+        """The kind-of chain from ``cls`` up to its root, inclusive."""
+        chain = [cls]
+        seen = {cls}
+        current = cls
+        while True:
+            parent = self.superclass_of(current)
+            if parent is None:
+                return chain
+            if parent in seen:  # pragma: no cover - guarded at insert
+                raise ObjectModelError(f"kind-of cycle through {parent}")
+            chain.append(parent)
+            seen.add(parent)
+            current = parent
+
+    def _inherits_closure(self, cls: LOID) -> Set[LOID]:
+        closure: Set[LOID] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            for base in self.bases_of(current):
+                if base not in closure:
+                    closure.add(base)
+                    stack.append(base)
+        return closure
+
+    def all_bases(self, cls: LOID) -> Set[LOID]:
+        """Transitive inherits-from closure (excluding ``cls`` itself)."""
+        return self._inherits_closure(cls)
+
+    def is_derived_from(self, cls: LOID, ancestor: LOID) -> bool:
+        """Whether ``ancestor`` is on ``cls``'s kind-of chain."""
+        return ancestor in self.ancestry(cls)
+
+    # -- invariants ------------------------------------------------------------------------
+
+    def sinks(self) -> List[LOID]:
+        """Nodes with no outgoing is-a or kind-of edges.
+
+        Section 2.1.3: "the class object for LegionObject is the only sink
+        in the graph that is implied by the union of the kind-of and is-a
+        relations" -- tests assert this returns exactly [LegionObject].
+        """
+        out: List[LOID] = []
+        for node in self._graph.nodes:
+            edges = [
+                data["kind"]
+                for _u, _v, data in self._graph.out_edges(node, data=True)
+            ]
+            if not any(k in (RelationKind.IS_A, RelationKind.KIND_OF) for k in edges):
+                out.append(node)
+        return sorted(out)
+
+    def node_count(self) -> int:
+        """Number of objects the graph has seen."""
+        return self._graph.number_of_nodes()
+
+    def edge_count(self, kind: Optional[RelationKind] = None) -> int:
+        """Number of edges, optionally of one kind."""
+        if kind is None:
+            return self._graph.number_of_edges()
+        return sum(
+            1 for _u, _v, data in self._graph.edges(data=True) if data["kind"] is kind
+        )
+
+    def __contains__(self, loid: LOID) -> bool:
+        return self._graph.has_node(loid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RelationGraph nodes={self._graph.number_of_nodes()} "
+            f"edges={self._graph.number_of_edges()}>"
+        )

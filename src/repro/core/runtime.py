@@ -1,0 +1,377 @@
+"""LegionRuntime: the per-object Legion-aware communication layer.
+
+"Since A is a Legion object, it contains a Legion-aware communication
+layer which may implement a binding cache." (paper section 4.1.2)
+
+Each active object owns one runtime.  The runtime:
+
+* keeps the object's **binding cache** (first stop of every resolution);
+* knows the object's **Binding Agent** -- "the persistent state of each
+  Legion object contains the Object Address of its Binding Agent"
+  (section 3.6) -- and consults it on cache misses;
+* detects **stale bindings** via DELIVERY_FAILURE notices (section 4.1.4),
+  invalidates them, asks the agent for a refresh by passing the *stale
+  binding itself* to GetBinding(binding), and retries;
+* implements the **Object Address semantics** of section 3.4 on send:
+  FIRST tries elements in order, ANY_RANDOM picks one, ALL fans out and
+  gathers every reply, K_OF_N fans out and returns the first k.
+
+All remote calls are generator-style: ``value = yield from rt.invoke(...)``
+inside a simulation process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BindingNotFound,
+    DeliveryFailure,
+    InvocationTimeout,
+    LegionError,
+    PartitionedError,
+)
+from repro.core.method import MethodInvocation, MethodResult
+from repro.naming.binding import Binding
+from repro.naming.cache import BindingCache
+from repro.naming.loid import LOID
+from repro.net.address import AddressSemantic, ObjectAddress, ObjectAddressElement
+from repro.net.message import Message, MessageKind
+from repro.security.environment import CallEnvironment
+from repro.simkernel.futures import SimFuture, gather, k_of
+from repro.simkernel.kernel import SimKernel
+
+
+@dataclass
+class RuntimeStats:
+    """Per-object communication statistics (feed the experiments)."""
+
+    invocations: int = 0
+    requests_sent: int = 0
+    replies_received: int = 0
+    stale_detected: int = 0
+    refreshes: int = 0
+    timeouts: int = 0
+    agent_lookups: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.invocations = self.requests_sent = self.replies_received = 0
+        self.stale_detected = self.refreshes = self.timeouts = 0
+        self.agent_lookups = 0
+
+
+class LegionRuntime:
+    """The communication layer of one active Legion object."""
+
+    #: How many stale-binding refresh cycles invoke() tolerates before
+    #: giving up with BindingNotFound.  Kept small because refreshes can
+    #: nest (a refresh's own requests may retry): depth-k call chains cost
+    #: up to (MAX_REFRESH_ATTEMPTS+1)^k attempts in the worst case.
+    MAX_REFRESH_ATTEMPTS = 3
+
+    def __init__(
+        self,
+        services,
+        loid: LOID,
+        element: ObjectAddressElement,
+        cache_capacity: Optional[int] = 128,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.services = services
+        self.kernel: SimKernel = services.kernel
+        self.loid = loid
+        self.element = element
+        self.cache = BindingCache(capacity=cache_capacity)
+        self.stats = RuntimeStats()
+        #: The object's Binding Agent (LOID + address), per section 3.6.
+        self.binding_agent: Optional[Binding] = None
+        #: Per-request deadline when messages can be silently dropped.
+        self.default_timeout = default_timeout
+        self._pending: Dict[int, SimFuture] = {}
+        self._timeout_handles: Dict[int, Any] = {}
+        #: Non-evictable well-known bindings (the core objects).  A
+        #: transient failure (e.g. a partition) may invalidate the cached
+        #: copy, but resolution falls back here, so connectivity loss is
+        #: never promoted into permanent amnesia about the core objects.
+        self._permanent: Dict[tuple, Binding] = {}
+
+    # ------------------------------------------------------------------ wiring
+
+    def set_binding_agent(self, agent: Binding) -> None:
+        """Install the Binding Agent this object consults on cache misses."""
+        self.binding_agent = agent
+
+    def seed_binding(self, binding: Binding, permanent: bool = False) -> None:
+        """Pre-load the cache (bootstrap and AddBinding-style propagation).
+
+        ``permanent=True`` marks a well-known binding that survives any
+        invalidation (used for the core class objects).
+        """
+        if permanent:
+            self._permanent[binding.loid.identity] = binding
+        self.cache.insert(binding)
+
+    def lookup_binding(self, loid: LOID) -> Optional[Binding]:
+        """Cache lookup with fallback to the permanent well-known seeds."""
+        binding = self.cache.lookup(loid, self.kernel.now)
+        if binding is None:
+            binding = self._permanent.get(loid.identity)
+            if binding is not None:
+                self.cache.insert(binding)
+        return binding
+
+    # --------------------------------------------------------------- message in
+
+    def handle_reply(self, message: Message) -> None:
+        """Route an incoming REPLY to its waiting future."""
+        fut = self._pending.pop(message.correlation_id, None)
+        self._cancel_timeout(message.correlation_id)
+        if fut is None or fut.done():
+            return  # late reply after timeout; drop
+        self.stats.replies_received += 1
+        fut.set_result(message.payload)
+
+    def handle_delivery_failure(self, message: Message) -> None:
+        """Route a DELIVERY_FAILURE notice to its waiting future."""
+        fut = self._pending.pop(message.correlation_id, None)
+        self._cancel_timeout(message.correlation_id)
+        if fut is None or fut.done():
+            return
+        reason = str(message.payload)
+        exc_type = PartitionedError if "partition" in reason else DeliveryFailure
+        fut.set_exception(
+            exc_type(
+                f"delivery to {message.source} failed: {reason}",
+                element=message.source,
+            )
+        )
+
+    def _cancel_timeout(self, correlation_id: int) -> None:
+        handle = self._timeout_handles.pop(correlation_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    # --------------------------------------------------------------- message out
+
+    def send_request(
+        self,
+        element: ObjectAddressElement,
+        invocation: MethodInvocation,
+        timeout: Optional[float] = None,
+    ) -> SimFuture:
+        """Fire one REQUEST at one element; future resolves with MethodResult.
+
+        The future fails with :class:`DeliveryFailure` on a stale element
+        and with :class:`InvocationTimeout` if a deadline was set and no
+        reply arrived in time.
+        """
+        message = Message.request(self.element, element, invocation)
+        fut = SimFuture(f"{invocation}→{element}")
+        self._pending[message.correlation_id] = fut
+        self.stats.requests_sent += 1
+        deadline = timeout if timeout is not None else self.default_timeout
+        if deadline is not None:
+            corr = message.correlation_id
+
+            def _expire() -> None:
+                pending = self._pending.pop(corr, None)
+                self._timeout_handles.pop(corr, None)
+                if pending is not None and not pending.done():
+                    self.stats.timeouts += 1
+                    pending.set_exception(
+                        InvocationTimeout(
+                            f"no reply to {invocation} within {deadline}",
+                            element=element,
+                        )
+                    )
+
+            self._timeout_handles[corr] = self.kernel.schedule(deadline, _expire)
+        self.services.network.send(message)
+        return fut
+
+    def send_event(self, element: ObjectAddressElement, payload: Any) -> None:
+        """Fire-and-forget EVENT (exception reports, invalidation gossip)."""
+        self.services.network.send(Message.event(self.element, element, payload))
+
+    # ----------------------------------------------------------------- calls
+
+    def call_element(
+        self,
+        element: ObjectAddressElement,
+        target: LOID,
+        method: str,
+        args: Tuple[Any, ...],
+        env: CallEnvironment,
+        timeout: Optional[float] = None,
+    ):
+        """Process-style call of one element; returns the unwrapped value."""
+        invocation = MethodInvocation(target=target, method=method, args=args, env=env)
+        result: MethodResult = yield self.send_request(element, invocation, timeout)
+        return result.unwrap()
+
+    def call_address(
+        self,
+        address: ObjectAddress,
+        target: LOID,
+        method: str,
+        args: Tuple[Any, ...],
+        env: CallEnvironment,
+        timeout: Optional[float] = None,
+    ):
+        """Semantics-aware call of a (possibly replicated) Object Address.
+
+        Returns a single value for FIRST/ANY_RANDOM, a list of all values
+        for ALL, and a list of k values for K_OF_N.  Raises
+        :class:`DeliveryFailure` when the semantic cannot be satisfied
+        (e.g. every element of a FIRST list is stale).
+        """
+        semantic = address.semantic
+        if semantic is AddressSemantic.FIRST:
+            last_error: Optional[BaseException] = None
+            for element in address.elements:
+                try:
+                    value = yield from self.call_element(
+                        element, target, method, args, env, timeout
+                    )
+                    return value
+                except DeliveryFailure as exc:
+                    last_error = exc
+            assert last_error is not None
+            raise last_error
+        if semantic is AddressSemantic.ANY_RANDOM:
+            rng = self.services.rng.stream("address-any-random")
+            (element,) = address.targets(rng)
+            value = yield from self.call_element(element, target, method, args, env, timeout)
+            return value
+        invocation_futs = [
+            self.send_request(
+                element,
+                MethodInvocation(target=target, method=method, args=args, env=env),
+                timeout,
+            )
+            for element in address.elements
+        ]
+        if semantic is AddressSemantic.ALL:
+            results: List[MethodResult] = yield gather(invocation_futs)
+            return [r.unwrap() for r in results]
+        # K_OF_N
+        indexed = yield k_of(invocation_futs, address.k)
+        return [r.unwrap() for _i, r in indexed]
+
+    # -------------------------------------------------------------- resolution
+
+    def resolve(self, loid: LOID):
+        """Produce a Binding for ``loid``: local cache, then Binding Agent.
+
+        This is exactly the start of the paper's section 4.1.2 walk; the
+        *agent* performs any deeper search (other agents, the class, the
+        magistrate).  Raises :class:`BindingNotFound` when no agent is
+        configured and the cache misses.
+        """
+        cached = self.lookup_binding(loid)
+        if cached is not None:
+            return cached
+        binding = yield from self._agent_get_binding(loid)
+        self.cache.insert(binding)
+        return binding
+
+    def _agent_get_binding(self, query):
+        """GetBinding(LOID) or GetBinding(binding) on our Binding Agent."""
+        agent = self.binding_agent
+        if agent is None:
+            if isinstance(query, Binding):
+                raise BindingNotFound(
+                    f"stale binding for {query.loid} and no Binding Agent configured",
+                    loid=query.loid,
+                )
+            raise BindingNotFound(
+                f"no cached binding for {query} and no Binding Agent configured",
+                loid=query,
+            )
+        self.stats.agent_lookups += 1
+        env = CallEnvironment.originating(self.loid)
+        binding = yield from self.call_address(
+            agent.address, agent.loid, "GetBinding", (query,), env
+        )
+        if binding is None:
+            loid = query.loid if isinstance(query, Binding) else query
+            raise BindingNotFound(f"Binding Agent found no binding for {loid}", loid=loid)
+        return binding
+
+    # ------------------------------------------------------------------- invoke
+
+    def invoke(
+        self,
+        target: LOID,
+        method: str,
+        *args: Any,
+        env: Optional[CallEnvironment] = None,
+        timeout: Optional[float] = None,
+    ):
+        """The full non-blocking method invocation path (section 4.1).
+
+        Resolution, call, stale detection, refresh, retry::
+
+            result = yield from runtime.invoke(loid, "Ping")
+
+        ``env`` defaults to a fresh environment rooted at this object;
+        nested calls inside a server method should pass
+        ``ctx.nested_env(self.loid)`` instead to preserve the Responsible
+        Agent across hops.
+        """
+        self.stats.invocations += 1
+        if env is None:
+            env = CallEnvironment.originating(self.loid)
+        binding = yield from self.resolve(target)
+        last_error: Optional[BaseException] = None
+        for _attempt in range(self.MAX_REFRESH_ATTEMPTS + 1):
+            try:
+                value = yield from self.call_address(
+                    binding.address, target, method, tuple(args), env, timeout
+                )
+                return value
+            except PartitionedError:
+                # The destination's site is unreachable; a refreshed
+                # binding cannot help until the partition heals, and
+                # retrying through intermediaries just multiplies traffic.
+                self.stats.stale_detected += 1
+                raise
+            except DeliveryFailure as exc:
+                # Stale binding (4.1.4): drop it and ask for a refresh,
+                # passing the stale binding so the agent knows not to
+                # hand back its own identical cached copy.
+                self.stats.stale_detected += 1
+                self.cache.invalidate_exact(binding)
+                last_error = exc
+                self.stats.refreshes += 1
+                try:
+                    binding = yield from self._agent_get_binding(binding)
+                    self.cache.insert(binding)
+                except BindingNotFound as missing:
+                    raise missing from exc
+                except DeliveryFailure:
+                    # The refresh leg itself was lost (a lossy network,
+                    # not a stale binding).  Keep the old binding and let
+                    # the retry budget govern: the next attempt may get
+                    # through, and a genuinely dead address will exhaust
+                    # the attempts into BindingNotFound below.
+                    pass
+        raise BindingNotFound(
+            f"could not reach {target} after {self.MAX_REFRESH_ATTEMPTS} refreshes",
+            loid=target,
+        ) from last_error
+
+    # ---------------------------------------------------------------- teardown
+
+    def fail_pending(self, reason: str) -> None:
+        """Fail all in-flight calls (object deactivating or migrating)."""
+        pending, self._pending = self._pending, {}
+        for corr, fut in pending.items():
+            self._cancel_timeout(corr)
+            if not fut.done():
+                fut.set_exception(DeliveryFailure(f"runtime torn down: {reason}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LegionRuntime {self.loid} @{self.element} pending={len(self._pending)}>"

@@ -1,0 +1,180 @@
+"""ObjectServer: hosts one implementation at a network endpoint.
+
+The server is the simulated analogue of the process a Legion object runs
+in while Active (paper section 3.1).  It owns the endpoint, the runtime,
+and the dispatch loop:
+
+* REQUEST messages are dispatched to exported methods.  "Method calls are
+  non-blocking and may be accepted in any order" (section 2): each
+  invocation runs as its own simulation process, so a slow method never
+  blocks later arrivals.
+* Before anything runs, the object's MayI() policy is consulted
+  (section 2.4); refusals return SecurityDenied to the caller.
+* REPLY / DELIVERY_FAILURE messages are routed to the runtime's pending
+  futures.
+* EVENT messages go to the implementation's ``handle_event`` hook.
+
+Every REQUEST also bumps the object's component counter in the metrics
+registry -- the raw data of the Section 5 scalability experiments.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Optional
+
+from repro.errors import LegionError, MethodNotFound, ObjectDeleted, SecurityDenied
+from repro.core.method import InvocationContext, MethodInvocation, MethodResult
+from repro.core.object_base import LegionObjectImpl
+from repro.core.runtime import LegionRuntime
+from repro.metrics.counters import ComponentId, ComponentKind, MetricsRegistry
+from repro.naming.binding import Binding
+from repro.naming.loid import LOID
+from repro.net.address import ObjectAddress, ObjectAddressElement
+from repro.net.message import Message, MessageKind
+
+
+class ObjectServer:
+    """One active Legion object: implementation + endpoint + runtime."""
+
+    def __init__(
+        self,
+        services,
+        loid: LOID,
+        impl: LegionObjectImpl,
+        host: int,
+        node: int = 0,
+        component_kind: ComponentKind = ComponentKind.APPLICATION,
+        component_name: str = "",
+        cache_capacity: Optional[int] = 128,
+    ) -> None:
+        self.services = services
+        self.loid = loid
+        self.impl = impl
+        self.host = host
+        self.element = services.network.allocate_element(host, node)
+        self.runtime = LegionRuntime(
+            services,
+            loid,
+            self.element,
+            cache_capacity,
+            default_timeout=getattr(services, "default_invocation_timeout", None),
+        )
+        self.component = ComponentId(component_kind, component_name or str(loid))
+        self._endpoint = services.network.register(self.element, self.handle_message)
+        self.active = True
+        # Seed the runtime: well-known core bindings plus the system's
+        # default Binding Agent (creators may override either afterwards).
+        for core_binding in services.core_bindings.values():
+            if core_binding.loid != loid:
+                self.runtime.seed_binding(core_binding, permanent=True)
+        if (
+            services.default_binding_agent is not None
+            and services.default_binding_agent.loid != loid
+        ):
+            self.runtime.set_binding_agent(services.default_binding_agent)
+        # Wire the implementation.
+        impl.loid = loid
+        impl.runtime = self.runtime
+        impl.services = services
+        impl.server = self  # type: ignore[attr-defined]
+        impl.on_activated()
+
+    # ------------------------------------------------------------------ address
+
+    @property
+    def address(self) -> ObjectAddress:
+        """This server's single-element Object Address."""
+        return ObjectAddress.single(self.element)
+
+    def binding(self, expires_at: float = float("inf")) -> Binding:
+        """A Binding for this server's LOID and address."""
+        return Binding(self.loid, self.address, expires_at)
+
+    # ----------------------------------------------------------------- dispatch
+
+    def handle_message(self, message: Message) -> None:
+        """The endpoint handler: route by message kind."""
+        if message.kind is MessageKind.REPLY:
+            self.runtime.handle_reply(message)
+            return
+        if message.kind is MessageKind.DELIVERY_FAILURE:
+            self.runtime.handle_delivery_failure(message)
+            return
+        if message.kind is MessageKind.EVENT:
+            self.impl.handle_event(message.payload, message.source)
+            return
+        self._dispatch_request(message)
+
+    def _dispatch_request(self, message: Message) -> None:
+        invocation: MethodInvocation = message.payload
+        self.services.metrics.incr(self.component, MetricsRegistry.REQUESTS)
+        try:
+            if not self.impl.may_i(invocation.method, invocation.env):
+                raise SecurityDenied(
+                    f"{self.loid} refused {invocation.method} for "
+                    f"{invocation.env.calling_agent}"
+                )
+            export = self.impl.find_export(invocation.method, invocation.arity)
+            if export is None:
+                raise MethodNotFound(
+                    f"{self.loid} exports no {invocation.method}/{invocation.arity}"
+                )
+        except LegionError as exc:
+            self._reply(message, MethodResult.failure(exc))
+            return
+
+        ctx = InvocationContext(
+            env=invocation.env, target=invocation.target, method=invocation.method
+        )
+        try:
+            if export.wants_ctx:
+                outcome = export.fn(self.impl, *invocation.args, ctx=ctx)
+            else:
+                outcome = export.fn(self.impl, *invocation.args)
+        except LegionError as exc:
+            self._reply(message, MethodResult.failure(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - marshalled to caller
+            self._reply(message, MethodResult.failure(exc))
+            return
+
+        if isinstance(outcome, types.GeneratorType):
+            # Long-running method: its own process; reply when it returns.
+            fut = self.services.kernel.spawn(
+                outcome, name=f"{self.loid}.{invocation.method}"
+            )
+
+            def _finish(done_fut) -> None:
+                if done_fut.failed():
+                    self._reply(message, MethodResult.failure(done_fut.exception()))
+                else:
+                    self._reply(message, MethodResult.success(done_fut.result()))
+
+            fut.add_done_callback(_finish)
+        else:
+            self._reply(message, MethodResult.success(outcome))
+
+    def _reply(self, request: Message, result: MethodResult) -> None:
+        if not self.active:
+            return  # deactivated mid-method; caller will see a stale binding
+        self.services.network.send(request.reply_with(result))
+
+    # ----------------------------------------------------------------- lifecycle
+
+    def deactivate(self) -> None:
+        """Tear the endpoint down (object going Inert or migrating).
+
+        After this, messages to the old address produce DELIVERY_FAILURE
+        at their senders -- the stale-binding signal of section 4.1.4.
+        """
+        if not self.active:
+            return
+        self.impl.on_deactivating()
+        self.active = False
+        self._endpoint.unregister()
+        self.runtime.fail_pending("deactivated")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "inert"
+        return f"<ObjectServer {self.loid} @{self.element} {state}>"

@@ -1,0 +1,37 @@
+"""Host Objects: each host's representative to Legion (sections 2.3, 3.9).
+
+"A Host Object is a host's representative to Legion.  It is responsible
+for executing objects on the host, reaping objects, and reporting object
+exceptions.  Thus, the Host Object for a host is ultimately responsible
+for deciding which objects can run on the host it represents."
+
+* :class:`HostObjectImpl` -- the base implementation exporting the
+  paper's member functions: Activate(), Deactivate(), SetCPUload(),
+  SetMemoryUsage(), GetState(), plus reaping and exception reporting.
+* :mod:`repro.hosts.host_types` -- the Fig. 8 hierarchy: UnixHost,
+  SPMDHost, UnixSMMP, CM5Host, CrayT3DHost, with platform-flavoured
+  capacity models (an SPMD host activates one object across many nodes).
+* :class:`ProcessTable` -- the per-host table of running object processes.
+"""
+
+from repro.hosts.host_object import HostObjectImpl, HostState
+from repro.hosts.host_types import (
+    CM5HostImpl,
+    CrayT3DHostImpl,
+    SPMDHostImpl,
+    UnixHostImpl,
+    UnixSMMPHostImpl,
+)
+from repro.hosts.process_table import ProcessEntry, ProcessTable
+
+__all__ = [
+    "HostObjectImpl",
+    "HostState",
+    "UnixHostImpl",
+    "SPMDHostImpl",
+    "UnixSMMPHostImpl",
+    "CM5HostImpl",
+    "CrayT3DHostImpl",
+    "ProcessEntry",
+    "ProcessTable",
+]

@@ -1,0 +1,92 @@
+"""The per-host table of running Legion object processes.
+
+A Host Object must know what is running on its host in order to reap dead
+objects, report exceptions, and enforce capacity (section 2.3).  Each
+entry pairs a LOID with the :class:`~repro.core.server.ObjectServer`
+standing in for the object's process, plus resource accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import HostError
+from repro.naming.loid import LOID
+
+
+@dataclass
+class ProcessEntry:
+    """One running (or crashed-but-unreaped) object process."""
+
+    loid: LOID
+    server: object  # ObjectServer; typed loosely to avoid an import cycle
+    started_at: float
+    cpu_share: float = 1.0
+    memory_bytes: int = 0
+    #: Set when the process died abnormally; reaping reports and clears it.
+    exception: Optional[str] = None
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the process terminated abnormally and awaits reaping."""
+        return self.exception is not None
+
+
+class ProcessTable:
+    """All processes on one host, keyed by LOID identity."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int], ProcessEntry] = {}
+
+    def add(self, entry: ProcessEntry) -> None:
+        """Record a started process; a LOID runs at most once per host."""
+        key = entry.loid.identity
+        if key in self._entries:
+            raise HostError(f"{entry.loid} already runs on this host")
+        self._entries[key] = entry
+
+    def get(self, loid: LOID) -> ProcessEntry:
+        """The entry for ``loid``; raises :class:`HostError` if absent."""
+        entry = self._entries.get(loid.identity)
+        if entry is None:
+            raise HostError(f"{loid} is not running on this host")
+        return entry
+
+    def find(self, loid: LOID) -> Optional[ProcessEntry]:
+        """The entry for ``loid`` or None."""
+        return self._entries.get(loid.identity)
+
+    def remove(self, loid: LOID) -> ProcessEntry:
+        """Drop and return the entry (process stopped or reaped)."""
+        entry = self._entries.pop(loid.identity, None)
+        if entry is None:
+            raise HostError(f"{loid} is not running on this host")
+        return entry
+
+    def crashed_entries(self) -> List[ProcessEntry]:
+        """Processes that died abnormally and await reaping."""
+        return [e for e in self._entries.values() if e.crashed]
+
+    def running(self) -> List[ProcessEntry]:
+        """Live (non-crashed) processes."""
+        return [e for e in self._entries.values() if not e.crashed]
+
+    @property
+    def total_cpu_share(self) -> float:
+        """Sum of CPU shares of live processes."""
+        return sum(e.cpu_share for e in self.running())
+
+    @property
+    def total_memory(self) -> int:
+        """Sum of memory of live processes."""
+        return sum(e.memory_bytes for e in self.running())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, loid: LOID) -> bool:
+        return loid.identity in self._entries
+
+    def __iter__(self):
+        return iter(list(self._entries.values()))

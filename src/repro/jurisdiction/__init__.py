@@ -1,0 +1,20 @@
+"""Jurisdictions and Magistrates (paper sections 2.2, 3.8).
+
+"An instance of Legion is partitioned into autonomous Jurisdictions, each
+of which consists of a set of hosts and associated storage. ...
+Jurisdictions are the mechanism by which Legion provides site autonomy."
+
+* :class:`Jurisdiction` -- the resource partition: hosts + a
+  :class:`~repro.persistence.vault.Vault`; possibly overlapping with
+  other jurisdictions and organisable into hierarchies (Fig. 10).
+* :class:`MagistrateImpl` -- the object in charge of a jurisdiction:
+  activation, deactivation, deletion, and migration (Copy/Move) of the
+  objects under its control; a security boundary that may refuse any
+  request (member function calls on Magistrates are requests, not
+  commands).
+"""
+
+from repro.jurisdiction.jurisdiction import Jurisdiction
+from repro.jurisdiction.magistrate import MagistrateImpl, ManagedObject, ObjectState
+
+__all__ = ["Jurisdiction", "MagistrateImpl", "ManagedObject", "ObjectState"]

@@ -1,0 +1,510 @@
+"""MagistrateImpl: the object in charge of a Jurisdiction (section 3.8).
+
+"The purpose of a Magistrate is to perform the activation, deactivation,
+and migration of the Legion objects under its control. ...  Magistrates
+are not intended to be complex decision making entities.  Instead, they
+should act as mechanisms by which other Legion objects implement policies
+and algorithms.  As a likely security boundary for the objects it manages,
+a Magistrate has the authority to reject requests."
+
+Exported member functions (the paper's list, plus the cooperation methods
+the creation and migration protocols need):
+
+* ``Activate(LOID)`` / ``Activate(LOID, LOID)`` -- activate, optionally on
+  a suggested Host Object; returns the Object Address.
+* ``Deactivate(LOID)`` -- save state into an OPR in the vault.
+* ``Delete(LOID)`` -- remove Active and Inert copies from existence.
+* ``Copy(LOID, LOID)`` / ``Move(LOID, LOID)`` -- inter-jurisdiction
+  migration; Move is "equivalent to Copy() then Delete()".
+* ``CreateObject(opr, host_hint)`` -- the class-object cooperation path of
+  section 4.2 ("the actual creation of the object is carried out by the
+  Magistrate and Host Object").
+* ``ImportObject(bytes)`` / ``ExportObject(LOID)`` -- the receiving/sending
+  halves of migration.
+* ``ReportExceptions(host, list)`` -- Host Objects report reaped crashes.
+
+Every method is guarded by the magistrate's MayI policy (site autonomy:
+"an organization may choose to implement its own Magistrate"), and the
+admission hook :meth:`admit_opr` lets subclasses refuse objects whose
+implementations they do not trust -- the DOE scenario of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    HostError,
+    LifecycleError,
+    NoCapacity,
+    RequestRefused,
+    UnknownObject,
+)
+from repro.core.method import InvocationContext
+from repro.core.object_base import LegionObjectImpl, legion_method
+from repro.jurisdiction.jurisdiction import Jurisdiction
+from repro.naming.binding import Binding
+from repro.naming.loid import LOID
+from repro.net.address import ObjectAddress
+from repro.persistence.opr import OPRecord
+
+
+class ObjectState(enum.Enum):
+    """The two object states of section 3.1."""
+
+    ACTIVE = "active"
+    INERT = "inert"
+
+
+@dataclass
+class ManagedObject:
+    """The magistrate's record of one object under its control."""
+
+    loid: LOID
+    class_loid: LOID
+    state: ObjectState
+    #: Host Object the process runs on (Active only).
+    host: Optional[LOID] = None
+    #: Current Object Address (Active only).
+    address: Optional[ObjectAddress] = None
+    #: The OPR template (identity + factory chain, no state); combined with
+    #: freshly saved state on each deactivation.
+    template: Optional[OPRecord] = None
+    #: For system-level replicated objects (section 4.3): the (host LOID,
+    #: Object Address) of each replica process this magistrate runs.
+    replicas: List[Tuple[LOID, ObjectAddress]] = field(default_factory=list)
+
+
+class MagistrateImpl(LegionObjectImpl):
+    """The base Magistrate.  Site-specific subclasses override policy."""
+
+    def __init__(
+        self,
+        jurisdiction: Jurisdiction,
+        placement: str = "round-robin",
+    ) -> None:
+        if placement not in ("round-robin", "least-loaded", "first-fit"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        self.jurisdiction = jurisdiction
+        self.placement = placement
+        self.managed: Dict[Tuple[int, int], ManagedObject] = {}
+        #: Bindings of the jurisdiction's Host Objects, in adoption order.
+        self.hosts: List[Binding] = []
+        self._host_rr = 0
+        #: (host LOID, object LOID, reason) triples from ReportExceptions.
+        self.exception_log: List[Tuple[LOID, LOID, str]] = []
+        #: Standing placement suggestions from Scheduling Agents: object
+        #: identity → suggested Host Object, consumed at next activation.
+        self.placement_suggestions: Dict[Tuple[int, int], LOID] = {}
+
+    # --------------------------------------------------------------------- hosts
+
+    @legion_method("AddHost(binding)")
+    def add_host(self, host: Binding) -> None:
+        """Adopt a Host Object into this jurisdiction."""
+        if all(h.loid != host.loid for h in self.hosts):
+            self.hosts.append(host)
+        self.runtime.seed_binding(host)
+
+    @legion_method("RemoveHost(LOID)")
+    def remove_host(self, host: LOID) -> None:
+        """Withdraw a Host Object (its running objects keep running)."""
+        self.hosts = [h for h in self.hosts if h.loid != host]
+
+    # ----------------------------------------------------------- scheduling hooks
+
+    @legion_method("list GetHosts()")
+    def get_hosts(self) -> List[LOID]:
+        """The jurisdiction's Host Objects (for Scheduling Agents).
+
+        Part of the "primitive scheduling functions exported by the
+        Magistrates" (section 3.8) that agents build policies on.
+        """
+        return [h.loid for h in self.hosts]
+
+    @legion_method("SetPlacementPolicy(string)")
+    def set_placement_policy(self, policy: str) -> None:
+        """Switch the default host-selection policy at run time."""
+        if policy not in ("round-robin", "least-loaded", "first-fit"):
+            raise RequestRefused(f"unknown placement policy {policy!r}")
+        self.placement = policy
+
+    @legion_method("SuggestPlacement(LOID, LOID)")
+    def suggest_placement(self, loid: LOID, host: LOID) -> None:
+        """A Scheduling Agent pre-pins the host for an object's NEXT
+        activation (the hook of sections 3.7-3.8: agents "suggest how to
+        schedule the objects in the Jurisdiction").  Consumed once."""
+        if all(h.loid != host for h in self.hosts):
+            raise RequestRefused(
+                f"host {host} is not in jurisdiction {self.jurisdiction.name}"
+            )
+        self.placement_suggestions[loid.identity] = host
+
+    def _choose_host(self, hint: Optional[LOID], env, loid: Optional[LOID] = None) -> LOID:
+        """Pick the Host Object for an activation."""
+        if hint is None and loid is not None:
+            hint = self.placement_suggestions.pop(loid.identity, None)
+        if hint is not None:
+            if all(h.loid != hint for h in self.hosts):
+                raise RequestRefused(
+                    f"host {hint} is not in jurisdiction {self.jurisdiction.name}"
+                )
+            return hint
+        if not self.hosts:
+            raise NoCapacity(f"jurisdiction {self.jurisdiction.name} has no hosts")
+        if self.placement == "least-loaded":
+            chosen = yield from self._least_loaded_host(env)
+            return chosen
+        if self.placement == "first-fit":
+            chosen = yield from self._first_fit_host(env)
+            return chosen
+        self._host_rr = (self._host_rr + 1) % len(self.hosts)
+        return self.hosts[self._host_rr].loid
+
+    def _first_fit_host(self, env):
+        """The first host (adoption order) that is accepting with a slot."""
+        for host in self.hosts:
+            state = yield from self.runtime.invoke(host.loid, "GetState", env=env)
+            if state.accepting and state.free_slots > 0:
+                return host.loid
+        raise NoCapacity(
+            f"no accepting host with capacity in {self.jurisdiction.name}"
+        )
+
+    def _least_loaded_host(self, env):
+        best: Optional[LOID] = None
+        best_load = float("inf")
+        for host in self.hosts:
+            state = yield from self.runtime.invoke(host.loid, "GetState", env=env)
+            if state.accepting and state.process_count < best_load:
+                best_load = state.process_count
+                best = host.loid
+        if best is None:
+            raise NoCapacity(
+                f"no accepting host in jurisdiction {self.jurisdiction.name}"
+            )
+        return best
+
+    # ------------------------------------------------------------------ admission
+
+    def admit_opr(self, opr: OPRecord) -> bool:
+        """Site-specific admission hook over the object's implementation.
+
+        Subclasses implement trust decisions here (e.g. a DOE magistrate
+        admitting only certified factory names).
+        """
+        return True
+
+    def _checked(self, opr: OPRecord) -> OPRecord:
+        if not self.admit_opr(opr):
+            raise RequestRefused(
+                f"magistrate of {self.jurisdiction.name} refuses {opr.loid} "
+                f"(implementation {opr.factory_chain[0][0]!r})"
+            )
+        return opr
+
+    # ------------------------------------------------------------------- creation
+
+    @legion_method("address CreateObject(opr, LOID)")
+    def create_object(
+        self, opr: OPRecord, host_hint: Optional[LOID], *, ctx: Optional[InvocationContext] = None
+    ):
+        """Create a brand-new object from its class's OPR (section 4.2).
+
+        Runs with "the cooperation of the Magistrate ... and of the Host
+        Object": the magistrate records management responsibility, the
+        host actually starts the process.
+        """
+        self._checked(opr)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        host = yield from self._choose_host(host_hint, env, opr.loid)
+        address = yield from self.runtime.invoke(host, "Activate", opr, env=env)
+        self.managed[opr.loid.identity] = ManagedObject(
+            loid=opr.loid,
+            class_loid=opr.class_loid,
+            state=ObjectState.ACTIVE,
+            host=host,
+            address=address,
+            template=OPRecord(
+                loid=opr.loid,
+                class_loid=opr.class_loid,
+                factory_chain=list(opr.factory_chain),
+                component_kind=opr.component_kind,
+                annotations=dict(opr.annotations),
+            ),
+        )
+        return address
+
+    @legion_method("address CreateReplica(opr, LOID)")
+    def create_replica(
+        self, opr: OPRecord, host_hint: Optional[LOID], *, ctx: Optional[InvocationContext] = None
+    ):
+        """Start one replica process of a system-level replicated object.
+
+        Unlike CreateObject, several replicas of the *same LOID* may run
+        under one magistrate (on distinct hosts); the managed record
+        accumulates them.  Section 4.3: "a Legion object -- an entity
+        named by a single LOID -- can be implemented as a set of
+        processes".
+        """
+        self._checked(opr)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        used = {host for host, _addr in self._replicas_of(opr.loid)}
+        host = None
+        if host_hint is not None:
+            host = yield from self._choose_host(host_hint, env)
+        else:
+            for candidate in self.hosts:
+                if candidate.loid not in used:
+                    host = candidate.loid
+                    break
+            if host is None:
+                raise NoCapacity(
+                    f"jurisdiction {self.jurisdiction.name}: every host already "
+                    f"runs a replica of {opr.loid}"
+                )
+        address = yield from self.runtime.invoke(host, "Activate", opr, env=env)
+        record = self.managed.get(opr.loid.identity)
+        if record is None:
+            record = ManagedObject(
+                loid=opr.loid,
+                class_loid=opr.class_loid,
+                state=ObjectState.ACTIVE,
+                template=OPRecord(
+                    loid=opr.loid,
+                    class_loid=opr.class_loid,
+                    factory_chain=list(opr.factory_chain),
+                    component_kind=opr.component_kind,
+                    annotations=dict(opr.annotations),
+                ),
+            )
+            self.managed[opr.loid.identity] = record
+        record.replicas.append((host, address))
+        return address
+
+    def _replicas_of(self, loid: LOID) -> List[Tuple[LOID, ObjectAddress]]:
+        record = self.managed.get(loid.identity)
+        return list(record.replicas) if record is not None else []
+
+    # ------------------------------------------------------------------ activation
+
+    @legion_method("address Activate(LOID)")
+    def activate_default(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Activate(LOID): no host suggestion."""
+        return self.activate_on(loid, None, ctx=ctx)
+
+    @legion_method("address Activate(LOID, LOID)")
+    def activate_on(
+        self, loid: LOID, host_hint: Optional[LOID], *, ctx: Optional[InvocationContext] = None
+    ):
+        """Make an object Active; returns its Object Address.
+
+        Idempotent for already-Active objects ("causes it to become a
+        running process ... if the object isn't already Active").  The
+        second parameter lets "a Scheduling Agent (or any other Legion
+        object) provide suggestions about where to run the object".
+        """
+        record = self._get_managed(loid)
+        if record.state is ObjectState.ACTIVE:
+            if record.address is None and record.replicas:
+                # A system-level replicated object (section 4.3): the
+                # *class* owns the combined group address; a magistrate
+                # only knows its local replicas and cannot activate "the"
+                # object at a single address.
+                raise RequestRefused(
+                    f"{loid} is a replica group; its class manages the "
+                    "group address"
+                )
+            return record.address
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        opr = self.jurisdiction.vault.load_opr(loid)
+        self._checked(opr)
+        host = yield from self._choose_host(host_hint, env, loid)
+        address = yield from self.runtime.invoke(host, "Activate", opr, env=env)
+        self.jurisdiction.vault.delete_opr(loid)
+        record.state = ObjectState.ACTIVE
+        record.host = host
+        record.address = address
+        yield from self._notify_class(
+            record, "NoteActivated", loid, address, self.loid, env=env
+        )
+        return address
+
+    @legion_method("Deactivate(LOID)")
+    def deactivate(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Move an object to the Inert state: OPR into the vault (3.1)."""
+        record = self._get_managed(loid)
+        if record.state is ObjectState.INERT:
+            return  # idempotent
+        if record.replicas:
+            raise LifecycleError(
+                f"{loid} is a replica group: it has no single process to "
+                "deactivate; shrink it via ReportDeadReplica or remove it "
+                "via Delete"
+            )
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        state = yield from self.runtime.invoke(
+            record.host, "Deactivate", loid, env=env
+        )
+        assert record.template is not None
+        opr = record.template.with_state(state)
+        self.jurisdiction.vault.store_opr(opr)
+        record.state = ObjectState.INERT
+        record.host = None
+        record.address = None
+        yield from self._notify_class(
+            record, "NoteDeactivated", loid, self.loid, env=env
+        )
+
+    # -------------------------------------------------------------------- deletion
+
+    @legion_method("Delete(LOID)")
+    def delete(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Remove the object from existence: Active and Inert copies both.
+
+        "After a Delete() function is successfully executed, future
+        attempts to bind the LOID to an Object Address will be
+        unsuccessful.  Stale bindings may exist, but will be eventually
+        removed as objects unsuccessfully try to use them."
+        """
+        record = self.managed.get(loid.identity)
+        if record is None:
+            return  # idempotent: not ours (any more)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        if record.state is ObjectState.ACTIVE and record.host is not None:
+            yield from self.runtime.invoke(record.host, "KillObject", loid, env=env)
+        for host, _address in record.replicas:
+            yield from self.runtime.invoke(host, "KillObject", loid, env=env)
+        self.jurisdiction.vault.delete_opr(loid)
+        del self.managed[loid.identity]
+
+    # ------------------------------------------------------------------- migration
+
+    @legion_method("bytes ExportObject(LOID)")
+    def export_object(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Deactivate (if needed) and hand out the OPR bytes (Copy's source)."""
+        record = self._get_managed(loid)
+        if record.state is ObjectState.ACTIVE:
+            yield from self.deactivate(loid, ctx=ctx)
+        opr = self.jurisdiction.vault.load_opr(loid)
+        return opr.to_bytes()
+
+    @legion_method("ImportObject(bytes)")
+    def import_object(self, blob: bytes, *, ctx: Optional[InvocationContext] = None) -> None:
+        """Receive a migrating object's OPR (Copy's destination).
+
+        Subject to the same admission policy as creation: a jurisdiction
+        cannot be forced to accept objects it does not trust.
+        """
+        opr = OPRecord.from_bytes(blob)
+        self._checked(opr)
+        self.jurisdiction.vault.store_opr(opr)
+        self.managed[opr.loid.identity] = ManagedObject(
+            loid=opr.loid,
+            class_loid=opr.class_loid,
+            state=ObjectState.INERT,
+            template=OPRecord(
+                loid=opr.loid,
+                class_loid=opr.class_loid,
+                factory_chain=list(opr.factory_chain),
+                component_kind=opr.component_kind,
+                annotations=dict(opr.annotations),
+            ),
+        )
+
+    @legion_method("Copy(LOID, LOID)")
+    def copy(self, loid: LOID, target_magistrate: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Replicate the OPR to another Magistrate (section 3.8).
+
+        "This function causes the Magistrate to deactivate the object,
+        creating an Object Persistent Representation, and to send the
+        Object Persistent Representation to the other Magistrate."
+        """
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        blob = yield from self.export_object(loid, ctx=ctx)
+        yield from self.runtime.invoke(
+            target_magistrate, "ImportObject", blob, env=env
+        )
+        record = self._get_managed(loid)
+        yield from self._notify_class(
+            record, "NoteCopied", loid, target_magistrate, env=env
+        )
+
+    @legion_method("Move(LOID, LOID)")
+    def move(self, loid: LOID, target_magistrate: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Change the managing Magistrate: "equivalent to Copy() then Delete()"."""
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        blob = yield from self.export_object(loid, ctx=ctx)
+        yield from self.runtime.invoke(
+            target_magistrate, "ImportObject", blob, env=env
+        )
+        record = self._get_managed(loid)
+        self.jurisdiction.vault.delete_opr(loid)
+        del self.managed[loid.identity]
+        yield from self._notify_class(
+            record, "NoteMigrated", loid, self.loid, target_magistrate, env=env
+        )
+
+    # ------------------------------------------------------------------- reporting
+
+    @legion_method("ReportExceptions(LOID, list)")
+    def report_exceptions(self, host: LOID, reaped: List[Tuple[LOID, str]]) -> None:
+        """A Host Object reports crashed processes it reaped.
+
+        Crashed Active objects fall back to Inert-with-last-OPR if the
+        vault still has one, otherwise they are dropped from management
+        (their class will fail future GetBinding with BindingNotFound).
+        """
+        for loid, reason in reaped:
+            self.exception_log.append((host, loid, reason or ""))
+            record = self.managed.get(loid.identity)
+            if record is None:
+                continue
+            if self.jurisdiction.vault.holds(loid):
+                record.state = ObjectState.INERT
+                record.host = None
+                record.address = None
+            else:
+                del self.managed[loid.identity]
+
+    # ------------------------------------------------------------------- queries
+
+    @legion_method("state GetObjectState(LOID)")
+    def get_object_state(self, loid: LOID) -> ObjectState:
+        """Whether the object is currently Active or Inert here."""
+        return self._get_managed(loid).state
+
+    @legion_method("int ManagedCount()")
+    def managed_count(self) -> int:
+        """How many objects this magistrate currently manages."""
+        return len(self.managed)
+
+    # -------------------------------------------------------------------- helpers
+
+    def _get_managed(self, loid: LOID) -> ManagedObject:
+        record = self.managed.get(loid.identity)
+        if record is None:
+            raise UnknownObject(
+                f"magistrate of {self.jurisdiction.name} does not manage {loid}"
+            )
+        return record
+
+    def _notify_class(self, record: ManagedObject, method: str, *args, env):
+        """Keep the owning class's logical table current (section 3.7).
+
+        Best-effort: a class that is unreachable (or that never created
+        the object, e.g. bootstrap objects) must not wedge lifecycle
+        operations, so failures are swallowed.
+        """
+        try:
+            yield from self.runtime.invoke(record.class_loid, method, *args, env=env)
+        except Exception:  # noqa: BLE001 - notification is best-effort
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.jurisdiction.name!r} "
+            f"managed={len(self.managed)} hosts={len(self.hosts)}>"
+        )

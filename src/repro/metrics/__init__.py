@@ -1,0 +1,15 @@
+"""Request accounting for the Section 5 scalability experiments.
+
+The paper's scalability criterion is the "distributed systems principle":
+"the number of requests to any particular system component must not be an
+increasing function of the number of hosts in the system" (section 5.2).
+Verifying that requires counting requests *per component*; this package is
+that bookkeeping.  Every ObjectServer increments its component's counter on
+each request it receives, and experiments read per-component loads, maxima,
+and slopes across system-size sweeps.
+"""
+
+from repro.metrics.counters import ComponentKind, MetricsRegistry
+from repro.metrics.recorder import SeriesRecorder
+
+__all__ = ["ComponentKind", "MetricsRegistry", "SeriesRecorder"]

@@ -1,0 +1,121 @@
+"""Per-component request counters.
+
+A *component* is one Legion object playing an infrastructure role: a class
+object, LegionClass itself, a Binding Agent, a Magistrate, a Host Object.
+Counters are keyed by (kind, name) so experiments can ask questions like
+"what is the maximum request count over all binding agents?" or "how many
+requests did LegionClass itself serve during the measurement phase?".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ComponentKind(enum.Enum):
+    """Infrastructure roles whose load the paper reasons about."""
+
+    LEGION_CLASS = "legion-class"      # the single logical LegionClass object
+    CLASS_OBJECT = "class-object"      # ordinary class objects
+    BINDING_AGENT = "binding-agent"
+    MAGISTRATE = "magistrate"
+    HOST_OBJECT = "host-object"
+    SCHEDULER = "scheduler"
+    APPLICATION = "application"        # user-level objects (not infrastructure)
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class ComponentId:
+    """Identity of one counted component."""
+
+    kind: ComponentKind
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+class MetricsRegistry:
+    """Central counter store; one per LegionSystem.
+
+    ``incr(component, event)`` bumps a named event counter; ``requests``
+    is the conventional event name every ObjectServer uses for an incoming
+    REQUEST, so the scalability experiments have a uniform metric.
+    """
+
+    REQUESTS = "requests"
+
+    def __init__(self) -> None:
+        self._counts: Dict[ComponentId, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    # -- writing ---------------------------------------------------------------
+
+    def incr(self, component: ComponentId, event: str, amount: int = 1) -> None:
+        """Add ``amount`` to the component's ``event`` counter."""
+        self._counts[component][event] += amount
+
+    def reset(self) -> None:
+        """Zero everything (between warm-up and measurement phases)."""
+        self._counts.clear()
+
+    # -- reading ---------------------------------------------------------------
+
+    def get(self, component: ComponentId, event: str = REQUESTS) -> int:
+        """The counter value (0 if the component never reported)."""
+        return self._counts.get(component, {}).get(event, 0)
+
+    def components(self, kind: Optional[ComponentKind] = None) -> List[ComponentId]:
+        """All known components, optionally filtered by kind."""
+        return sorted(
+            (c for c in self._counts if kind is None or c.kind == kind),
+            key=str,
+        )
+
+    def totals_by_kind(self, event: str = REQUESTS) -> Dict[ComponentKind, int]:
+        """Sum of ``event`` over all components of each kind."""
+        out: Dict[ComponentKind, int] = defaultdict(int)
+        for comp, events in self._counts.items():
+            out[comp.kind] += events.get(event, 0)
+        return dict(out)
+
+    def max_by_kind(self, kind: ComponentKind, event: str = REQUESTS) -> int:
+        """The *maximum* ``event`` count over components of ``kind``.
+
+        This is the paper's bottleneck metric: a kind scales if its max
+        per-component load stays bounded as the system grows.
+        """
+        loads = [
+            events.get(event, 0)
+            for comp, events in self._counts.items()
+            if comp.kind == kind
+        ]
+        return max(loads, default=0)
+
+    def loads(self, kind: ComponentKind, event: str = REQUESTS) -> Dict[str, int]:
+        """Per-component ``event`` counts for one kind, keyed by name."""
+        return {
+            comp.name: events.get(event, 0)
+            for comp, events in self._counts.items()
+            if comp.kind == kind
+        }
+
+    def top(
+        self, n: int = 10, event: str = REQUESTS, kind: Optional[ComponentKind] = None
+    ) -> List[Tuple[ComponentId, int]]:
+        """The ``n`` most-loaded components (the would-be bottlenecks)."""
+        items = [
+            (comp, events.get(event, 0))
+            for comp, events in self._counts.items()
+            if kind is None or comp.kind == kind
+        ]
+        items.sort(key=lambda kv: (-kv[1], str(kv[0])))
+        return items[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry components={len(self._counts)}>"

@@ -1,0 +1,115 @@
+"""Time-series and sweep-result recording for experiments.
+
+:class:`SeriesRecorder` accumulates (x, series → value) rows from a
+parameter sweep and renders them as the aligned text tables the benchmark
+harness prints -- the reproduction's analogue of the paper's would-be
+results tables.  Slope estimation (ordinary least squares on log-log or
+linear axes) backs the "not an increasing function of system size" checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SeriesRecorder:
+    """Rows of sweep results: one x value, many named series."""
+
+    x_label: str = "x"
+    _rows: List[Tuple[float, Dict[str, float]]] = field(default_factory=list)
+
+    def add(self, x: float, **values: float) -> None:
+        """Record one sweep point."""
+        self._rows.append((float(x), {k: float(v) for k, v in values.items()}))
+
+    @property
+    def xs(self) -> List[float]:
+        """The sweep axis, in insertion order."""
+        return [x for x, _ in self._rows]
+
+    def series_names(self) -> List[str]:
+        """All series names seen, in first-appearance order."""
+        names: List[str] = []
+        for _, values in self._rows:
+            for name in values:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, name: str) -> List[Optional[float]]:
+        """One series aligned to :attr:`xs` (None where missing)."""
+        return [values.get(name) for _, values in self._rows]
+
+    # -- analysis ---------------------------------------------------------------
+
+    def slope(self, name: str, log_log: bool = False) -> float:
+        """OLS slope of ``name`` vs x (optionally on log-log axes).
+
+        On log-log axes the slope is the growth *exponent*: ~0 means the
+        series is flat in system size (the distributed-systems-principle
+        pass condition), ~1 means linear growth (a bottleneck).
+        """
+        pts = [
+            (x, v)
+            for (x, values), v in zip(self._rows, self.series(name))
+            if v is not None
+        ]
+        if len(pts) < 2:
+            raise ValueError(f"need >= 2 points to fit a slope for {name!r}")
+        xs = np.array([p[0] for p in pts], dtype=float)
+        ys = np.array([p[1] for p in pts], dtype=float)
+        if log_log:
+            if (xs <= 0).any() or (ys < 0).any():
+                raise ValueError("log-log slope needs positive x and non-negative y")
+            xs = np.log(xs)
+            ys = np.log(np.maximum(ys, 1e-12))
+        slope, _intercept = np.polyfit(xs, ys, 1)
+        return float(slope)
+
+    def ratio(self, name: str) -> float:
+        """last/first value of a series (coarse growth factor)."""
+        values = [v for v in self.series(name) if v is not None]
+        if len(values) < 2:
+            raise ValueError(f"need >= 2 points for a ratio of {name!r}")
+        first = values[0]
+        return values[-1] / first if first else math.inf
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_table(self, title: str = "", float_fmt: str = "{:.2f}") -> str:
+        """An aligned text table of all rows and series."""
+        names = self.series_names()
+        header = [self.x_label] + names
+        rows: List[List[str]] = []
+        for x, values in self._rows:
+            row = [self._fmt(x, float_fmt)]
+            for name in names:
+                v = values.get(name)
+                row.append("-" if v is None else self._fmt(v, float_fmt))
+            rows.append(row)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: float, float_fmt: str) -> str:
+        if float(value).is_integer() and abs(value) < 1e15:
+            return str(int(value))
+        return float_fmt.format(value)
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,145 @@
+"""Contexts: program-level string names → LOIDs (paper section 4.1).
+
+"A user will write a Legion application program in her favorite language,
+and will typically name Legion objects with string names.  The program is
+compiled within a particular 'context' by a Legion-aware compiler.  The
+compiler uses the context to map string names to LOIDs."
+
+We reproduce the context as a hierarchical, slash-separated namespace
+(``"/home/alice/matrix"``), because that is how the single persistent name
+space the paper promises is most naturally presented to users.  Contexts
+can be nested: a sub-context is just another Context mounted at a prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ContextError
+from repro.naming.loid import LOID
+
+
+def _split(name: str) -> List[str]:
+    parts = [p for p in name.strip("/").split("/") if p]
+    if not parts:
+        raise ContextError(f"empty context name {name!r}")
+    for p in parts:
+        if p in (".", ".."):
+            raise ContextError(f"relative component {p!r} not allowed in {name!r}")
+    return parts
+
+
+class Context:
+    """A hierarchical name space mapping string names to LOIDs.
+
+    Methods mirror a tiny filesystem: ``bind``, ``lookup``, ``unbind``,
+    ``list``, ``mount``.  All names are slash-separated paths; leading and
+    trailing slashes are ignored.
+    """
+
+    def __init__(self, name: str = "/") -> None:
+        self.name = name
+        self._entries: Dict[str, LOID] = {}
+        self._mounts: Dict[str, "Context"] = {}
+
+    # -- resolution ------------------------------------------------------------
+
+    def _route(self, name: str) -> Tuple[Optional["Context"], str]:
+        """(mounted sub-context, remaining path) or (None, flat key)."""
+        parts = _split(name)
+        if parts[0] in self._mounts and len(parts) > 1:
+            return self._mounts[parts[0]], "/".join(parts[1:])
+        return None, "/".join(parts)
+
+    def bind(self, name: str, loid: LOID, replace: bool = False) -> None:
+        """Associate ``name`` with ``loid``.
+
+        Raises :class:`ContextError` if the name is taken and ``replace``
+        is False.
+        """
+        sub, rest = self._route(name)
+        if sub is not None:
+            sub.bind(rest, loid, replace)
+            return
+        if rest in self._entries and not replace:
+            raise ContextError(f"name {rest!r} already bound in context {self.name!r}")
+        if rest in self._mounts:
+            raise ContextError(f"name {rest!r} is a sub-context in {self.name!r}")
+        self._entries[rest] = loid
+
+    def lookup(self, name: str) -> LOID:
+        """The LOID bound to ``name``; raises :class:`ContextError` if absent."""
+        sub, rest = self._route(name)
+        if sub is not None:
+            return sub.lookup(rest)
+        try:
+            return self._entries[rest]
+        except KeyError:
+            raise ContextError(
+                f"name {rest!r} not bound in context {self.name!r}"
+            ) from None
+
+    def try_lookup(self, name: str) -> Optional[LOID]:
+        """Like :meth:`lookup` but returns None instead of raising."""
+        try:
+            return self.lookup(name)
+        except ContextError:
+            return None
+
+    def unbind(self, name: str) -> LOID:
+        """Remove and return the binding for ``name``."""
+        sub, rest = self._route(name)
+        if sub is not None:
+            return sub.unbind(rest)
+        try:
+            return self._entries.pop(rest)
+        except KeyError:
+            raise ContextError(
+                f"name {rest!r} not bound in context {self.name!r}"
+            ) from None
+
+    # -- structure ----------------------------------------------------------------
+
+    def mount(self, prefix: str, sub: "Context") -> None:
+        """Attach ``sub`` so its names appear under ``prefix/``."""
+        parts = _split(prefix)
+        if len(parts) != 1:
+            raise ContextError(f"mount prefix must be a single component, got {prefix!r}")
+        key = parts[0]
+        if key in self._mounts:
+            raise ContextError(f"prefix {key!r} already mounted in {self.name!r}")
+        if key in self._entries:
+            raise ContextError(f"prefix {key!r} already a bound name in {self.name!r}")
+        self._mounts[key] = sub
+
+    def subcontext(self, prefix: str) -> "Context":
+        """Create, mount, and return a fresh sub-context at ``prefix``."""
+        sub = Context(name=f"{self.name.rstrip('/')}/{prefix}")
+        self.mount(prefix, sub)
+        return sub
+
+    def list(self, prefix: str = "") -> List[str]:
+        """All full names below ``prefix`` (both entries and mounts)."""
+        if prefix:
+            parts = _split(prefix)
+            sub = self._mounts.get(parts[0])
+            if sub is None:
+                raise ContextError(f"{parts[0]!r} is not a sub-context of {self.name!r}")
+            rest = "/".join(parts[1:])
+            return [f"{parts[0]}/{n}" for n in sub.list(rest)]
+        names = sorted(self._entries)
+        for key, sub in sorted(self._mounts.items()):
+            names.extend(f"{key}/{n}" for n in sub.list())
+        return names
+
+    def __len__(self) -> int:
+        return len(self._entries) + sum(len(s) for s in self._mounts.values())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.list())
+
+    def __contains__(self, name: str) -> bool:
+        return self.try_lookup(name) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Context {self.name!r} entries={len(self._entries)} mounts={len(self._mounts)}>"

@@ -1,0 +1,140 @@
+"""Context objects: the persistent name space as Legion objects.
+
+"A single persistent name space unites the objects in the Legion system"
+(section 1).  The :class:`~repro.naming.context.Context` class is the
+local, in-process form (a compiler's view, section 4.1); this module
+provides the *distributed* form: a context that is itself a Legion object,
+so directories can live at different sites, persist through deactivation,
+and be shared by name like everything else.
+
+A :class:`ContextObjectImpl` maps single path components to LOIDs.  A
+component may name another context object, and the recursive operations
+(LookupPath / BindPath) hop across the directory graph with ordinary
+method invocations -- a lookup of ``a/b/leaf`` may touch three objects on
+three sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ContextError
+from repro.core.method import InvocationContext
+from repro.core.object_base import LegionObjectImpl, legion_method
+from repro.naming.loid import LOID
+
+
+def _split(path: str) -> List[str]:
+    parts = [p for p in path.strip("/").split("/") if p]
+    if not parts:
+        raise ContextError(f"empty context path {path!r}")
+    for part in parts:
+        if part in (".", ".."):
+            raise ContextError(f"relative component {part!r} not allowed")
+    return parts
+
+
+class ContextObjectImpl(LegionObjectImpl):
+    """One directory of the distributed name space."""
+
+    def __init__(self, name: str = "/") -> None:
+        self.name = name
+        #: component → (LOID, is_subcontext)
+        self.entries: Dict[str, Tuple[LOID, bool]] = {}
+
+    def persistent_attributes(self) -> List[str]:
+        return ["name", "entries"]
+
+    # -- single-component operations -------------------------------------------
+
+    @legion_method("Bind(string, LOID)")
+    def bind(self, component: str, loid: LOID) -> None:
+        """Bind one component in this directory (no slashes)."""
+        self._bind_local(component, loid, is_subcontext=False)
+
+    @legion_method("Mount(string, LOID)")
+    def mount(self, component: str, context: LOID) -> None:
+        """Mount another context object under ``component``."""
+        self._bind_local(component, context, is_subcontext=True)
+
+    def _bind_local(self, component: str, loid: LOID, is_subcontext: bool) -> None:
+        (part,) = _split(component) if "/" not in component else (None,)
+        if part is None:
+            raise ContextError(
+                f"{component!r} has path separators; use BindPath for paths"
+            )
+        if part in self.entries:
+            raise ContextError(f"{part!r} already bound in context {self.name!r}")
+        self.entries[part] = (loid, is_subcontext)
+
+    @legion_method("LOID Lookup(string)")
+    def lookup(self, component: str) -> LOID:
+        """Resolve one component of this directory."""
+        entry = self.entries.get(component)
+        if entry is None:
+            raise ContextError(
+                f"{component!r} not bound in context {self.name!r}"
+            )
+        return entry[0]
+
+    @legion_method("Unbind(string)")
+    def unbind(self, component: str) -> None:
+        """Remove one component (idempotent errors are real errors here)."""
+        if component not in self.entries:
+            raise ContextError(
+                f"{component!r} not bound in context {self.name!r}"
+            )
+        del self.entries[component]
+
+    @legion_method("list List()")
+    def list_entries(self) -> List[Tuple[str, bool]]:
+        """(component, is_subcontext) pairs, sorted."""
+        return sorted(
+            (name, is_sub) for name, (_loid, is_sub) in self.entries.items()
+        )
+
+    # -- recursive path operations -----------------------------------------------
+
+    @legion_method("LOID LookupPath(string)")
+    def lookup_path(self, path: str, *, ctx: Optional[InvocationContext] = None):
+        """Resolve a slash path, hopping across context objects.
+
+        Each intermediate component must be a mounted sub-context; the
+        hop is a real LookupPath invocation on that (possibly remote,
+        possibly Inert -- it activates) context object.
+        """
+        parts = _split(path)
+        head, rest = parts[0], parts[1:]
+        entry = self.entries.get(head)
+        if entry is None:
+            raise ContextError(f"{head!r} not bound in context {self.name!r}")
+        loid, is_subcontext = entry
+        if not rest:
+            return loid
+        if not is_subcontext:
+            raise ContextError(
+                f"{head!r} in context {self.name!r} is a leaf, not a sub-context"
+            )
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        result = yield from self.runtime.invoke(
+            loid, "LookupPath", "/".join(rest), env=env
+        )
+        return result
+
+    @legion_method("BindPath(string, LOID)")
+    def bind_path(self, path: str, target: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Bind a leaf at the end of an existing directory chain."""
+        parts = _split(path)
+        if len(parts) == 1:
+            self._bind_local(parts[0], target, is_subcontext=False)
+            return
+        head, rest = parts[0], parts[1:]
+        entry = self.entries.get(head)
+        if entry is None or not entry[1]:
+            raise ContextError(
+                f"{head!r} is not a sub-context of {self.name!r}"
+            )
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        yield from self.runtime.invoke(
+            entry[0], "BindPath", "/".join(rest), target, env=env
+        )

@@ -1,0 +1,170 @@
+"""Legion Object Identifiers (paper section 3.2, Fig. 12).
+
+An LOID is ``class_id (64 bits) | class_specific (64 bits) | public_key
+(P bits)``.  The paper leaves P open ("a constant whose size has yet to be
+determined"); this reproduction fixes ``PUBLIC_KEY_BITS = 64`` and derives
+keys deterministically from the identifier fields plus a per-system secret,
+which gives every object a distinct, verifiable key without a real PKI
+(the security model of ref [8] is out of scope; only its hooks are needed).
+
+Identity conventions, straight from the paper:
+
+* class objects have ``class_specific == 0``;
+* an instance's LOID carries its class's ``class_id``, so the LOID of the
+  class responsible for locating a non-class object is computed by field
+  surgery: keep ``class_id``, zero ``class_specific`` (section 4.1.3);
+* LegionClass is the authority handing out unique class identifiers.
+
+Routing and table lookups key on ``identity`` -- the (class_id,
+class_specific) pair -- because the public key is a credential, not a
+locator.  Full equality includes the key, so a forged LOID with a wrong
+key never compares equal to the genuine one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import InvalidLOID
+
+_U64 = (1 << 64) - 1
+
+#: P, the public-key width in bits.  The paper leaves this constant open.
+PUBLIC_KEY_BITS = 64
+_KEY_MASK = (1 << PUBLIC_KEY_BITS) - 1
+
+#: Reserved class identifiers for the core Abstract classes (section 2.1.3).
+#: LegionClass itself must be locatable before any allocation can happen,
+#: so the core identifiers are compile-time constants of the system.
+CLASS_ID_LEGION_OBJECT = 1
+CLASS_ID_LEGION_CLASS = 2
+CLASS_ID_LEGION_HOST = 3
+CLASS_ID_LEGION_MAGISTRATE = 4
+CLASS_ID_LEGION_BINDING_AGENT = 5
+CLASS_ID_LEGION_SCHEDULER = 6
+FIRST_USER_CLASS_ID = 64
+
+
+def derive_public_key(class_id: int, class_specific: int, secret: int = 0) -> int:
+    """The deterministic P-bit key for an identity under ``secret``."""
+    digest = hashlib.sha256(
+        f"{secret}:{class_id}:{class_specific}".encode()
+    ).digest()
+    return int.from_bytes(digest[: PUBLIC_KEY_BITS // 8], "big") & _KEY_MASK
+
+
+@dataclass(frozen=True, order=True)
+class LOID:
+    """A Legion Object Identifier.
+
+    Immutable and hashable; usable directly as a dict key.  Compare with
+    ``==`` for full identity (including key) and via :attr:`identity` for
+    locator purposes.
+    """
+
+    class_id: int
+    class_specific: int
+    public_key: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.class_id <= _U64):
+            raise InvalidLOID(f"class_id {self.class_id} exceeds 64 bits")
+        if not (0 <= self.class_specific <= _U64):
+            raise InvalidLOID(f"class_specific {self.class_specific} exceeds 64 bits")
+        if not (0 <= self.public_key <= _KEY_MASK):
+            raise InvalidLOID(f"public_key exceeds {PUBLIC_KEY_BITS} bits")
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def identity(self) -> Tuple[int, int]:
+        """The (class_id, class_specific) pair used for routing lookups."""
+        return (self.class_id, self.class_specific)
+
+    @property
+    def is_class(self) -> bool:
+        """Class objects conventionally have a zero class-specific field."""
+        return self.class_specific == 0
+
+    def class_identity(self) -> Tuple[int, int]:
+        """Identity of the class responsible for locating this object.
+
+        The field surgery of section 4.1.3: same class_id, zero
+        class_specific.  For a class object this is its own identity --
+        responsibility for *classes* is resolved through LegionClass's
+        responsibility pairs instead.
+        """
+        return (self.class_id, 0)
+
+    # -- wire form -------------------------------------------------------------
+
+    def pack(self) -> bytes:
+        """(128+P)/8 bytes: class_id | class_specific | public_key."""
+        return (
+            self.class_id.to_bytes(8, "big")
+            + self.class_specific.to_bytes(8, "big")
+            + self.public_key.to_bytes(PUBLIC_KEY_BITS // 8, "big")
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "LOID":
+        """Inverse of :meth:`pack`."""
+        expected = 16 + PUBLIC_KEY_BITS // 8
+        if len(data) != expected:
+            raise InvalidLOID(f"LOID wire form must be {expected} bytes, got {len(data)}")
+        return cls(
+            class_id=int.from_bytes(data[:8], "big"),
+            class_specific=int.from_bytes(data[8:16], "big"),
+            public_key=int.from_bytes(data[16:], "big"),
+        )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def for_class(cls, class_id: int, secret: int = 0) -> "LOID":
+        """The LOID of the class object with identifier ``class_id``."""
+        return cls(class_id, 0, derive_public_key(class_id, 0, secret))
+
+    @classmethod
+    def for_instance(cls, class_id: int, sequence: int, secret: int = 0) -> "LOID":
+        """The LOID of instance ``sequence`` of class ``class_id``."""
+        if sequence == 0:
+            raise InvalidLOID("instance class_specific must be non-zero (0 marks classes)")
+        return cls(class_id, sequence, derive_public_key(class_id, sequence, secret))
+
+    def verify_key(self, secret: int) -> bool:
+        """Whether this LOID's key is genuine under the system secret."""
+        return self.public_key == derive_public_key(
+            self.class_id, self.class_specific, secret
+        )
+
+    def __str__(self) -> str:
+        kind = "C" if self.is_class else "O"
+        return f"{kind}<{self.class_id}.{self.class_specific}>"
+
+
+class LOIDAllocator:
+    """Per-class LOID factory: sequence-numbered class-specific fields.
+
+    "it is likely that the Class Specific field will often be used by
+    classes as a sequence number to guarantee the generation of unique
+    LOID's" (section 3.2).  One allocator per class object.
+    """
+
+    def __init__(self, class_id: int, secret: int = 0, start: int = 1) -> None:
+        if start < 1:
+            raise InvalidLOID("instance sequences start at 1; 0 marks class objects")
+        self.class_id = class_id
+        self.secret = secret
+        self._counter = itertools.count(start)
+
+    def next_instance(self) -> LOID:
+        """A fresh, unique instance LOID for this class."""
+        return LOID.for_instance(self.class_id, next(self._counter), self.secret)
+
+    def __iter__(self) -> Iterator[LOID]:
+        while True:
+            yield self.next_instance()

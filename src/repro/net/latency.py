@@ -1,0 +1,102 @@
+"""Latency classification for the simulated wide-area fabric.
+
+The paper's scalability argument (section 5.2) rests on the assumption that
+"most accesses will be local ... within the same organization, for instance
+within a department or university campus".  To measure that, the network
+needs a notion of *where* endpoints live.  Hosts are assigned to *sites*
+(the paper's organizations); messages are then classed as
+
+* ``SAME_HOST``  -- caller and callee on one machine,
+* ``SAME_SITE``  -- different machines, one campus (LAN),
+* ``WIDE_AREA``  -- across sites (WAN),
+
+and each class has a base latency plus optional jitter.  The defaults are
+order-of-magnitude figures for mid-1990s infrastructure (the NII of the
+paper); absolute values don't matter for the reproduced claims, only the
+local ≪ wide-area ordering does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+class LinkClass(enum.Enum):
+    """Coarse locality class of a (source host, destination host) pair."""
+
+    SAME_HOST = "same-host"
+    SAME_SITE = "same-site"
+    WIDE_AREA = "wide-area"
+
+
+#: Default one-way base latencies, in simulated milliseconds.
+DEFAULT_BASE_LATENCY: Dict[LinkClass, float] = {
+    LinkClass.SAME_HOST: 0.05,
+    LinkClass.SAME_SITE: 1.0,
+    LinkClass.WIDE_AREA: 40.0,
+}
+
+
+@dataclass
+class LatencyModel:
+    """Maps host pairs to one-way message latencies.
+
+    Parameters
+    ----------
+    base:
+        Per-class one-way base latency (milliseconds of simulated time).
+    jitter_fraction:
+        If > 0, each delivery adds uniform jitter in
+        ``[0, jitter_fraction * base)`` drawn from ``rng``.
+    rng:
+        ``random.Random`` used for jitter; required when jitter is on.
+    """
+
+    base: Dict[LinkClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_BASE_LATENCY)
+    )
+    jitter_fraction: float = 0.0
+    rng: Optional[object] = None
+    _site_of: Dict[int, str] = field(default_factory=dict)
+
+    def assign_host(self, host: int, site: str) -> None:
+        """Record that ``host`` (a 32-bit host id) belongs to ``site``."""
+        self._site_of[host] = site
+
+    def site_of(self, host: int) -> Optional[str]:
+        """The site a host was assigned to, or None if unassigned."""
+        return self._site_of.get(host)
+
+    def classify(self, src_host: int, dst_host: int) -> LinkClass:
+        """The locality class of a (src, dst) host pair.
+
+        Unassigned hosts are conservatively treated as wide-area peers
+        (they are "somewhere on the NII").
+        """
+        if src_host == dst_host:
+            return LinkClass.SAME_HOST
+        src_site = self._site_of.get(src_host)
+        dst_site = self._site_of.get(dst_host)
+        if src_site is not None and src_site == dst_site:
+            return LinkClass.SAME_SITE
+        return LinkClass.WIDE_AREA
+
+    def latency(self, src_host: int, dst_host: int) -> float:
+        """One-way latency for a message between two hosts."""
+        cls = self.classify(src_host, dst_host)
+        value = self.base[cls]
+        if self.jitter_fraction > 0.0:
+            if self.rng is None:
+                raise ValueError("jitter enabled but no rng provided")
+            value += self.rng.uniform(0.0, self.jitter_fraction * value)  # type: ignore[attr-defined]
+        return value
+
+    @classmethod
+    def uniform(cls, latency: float) -> "LatencyModel":
+        """A degenerate model where every link has the same latency.
+
+        Useful in unit tests where locality is irrelevant.
+        """
+        return cls(base={c: latency for c in LinkClass})

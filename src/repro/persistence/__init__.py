@@ -1,0 +1,22 @@
+"""Persistence: Object Persistent Representations, Addresses, and storage.
+
+Paper section 3.1: a Legion object is either **Active** (a process with an
+Object Address) or **Inert** (a byte sequence -- the Object Persistent
+Representation -- in a jurisdiction's storage, located by an Object
+Persistent Address that is "typically a file name, and will only be
+meaningful within the Jurisdiction in which it resides").
+
+* :class:`OPRecord` -- the OPR: identity, implementation (factory chain),
+  and saved state; serialisable to the paper's "sequential set of bytes".
+* :class:`PersistentStore` -- a simulated disk: a flat namespace of OPR
+  files with capacity accounting.
+* :class:`Vault` -- a jurisdiction's aggregate persistent storage: the
+  union of its disks, visible from every host of the jurisdiction (the
+  visibility requirement of Fig. 11).
+"""
+
+from repro.persistence.opr import OPRecord, PersistentAddress
+from repro.persistence.storage import PersistentStore
+from repro.persistence.vault import Vault
+
+__all__ = ["OPRecord", "PersistentAddress", "PersistentStore", "Vault"]

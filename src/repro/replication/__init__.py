@@ -1,0 +1,30 @@
+"""System-level object replication (paper section 4.3, Fig. 1).
+
+"An LOID names Legion Object A1, which is implemented as a replicated
+object consisting of four processes ... residing at four different
+physical addresses.  The Object Address for A1 includes each of the
+address elements."  The address *semantic* (ALL / one-at-random / k-of-N,
+section 3.4) governs how callers use the list, "without changing the
+application-level semantics for communicating with the object".
+
+The creation side lives on class objects
+(:meth:`~repro.core.legion_class.ClassObjectImpl.create_replicated`); this
+package adds the group-maintenance helpers:
+
+* :func:`probe_replicas` -- which elements of a replica group answer;
+* :func:`repair_replica_group` -- probe, report dead members to the class
+  (shrinking the group), and return the repaired binding;
+* :class:`ReplicaGroupStatus` -- the probe report.
+
+The paper also notes application-level replication (multiple LOIDs acting
+as one logical service, managed by the application) remains possible;
+``examples/replication_fault_tolerance.py`` demonstrates both styles.
+"""
+
+from repro.replication.manager import (
+    ReplicaGroupStatus,
+    probe_replicas,
+    repair_replica_group,
+)
+
+__all__ = ["ReplicaGroupStatus", "probe_replicas", "repair_replica_group"]

@@ -1,0 +1,118 @@
+"""Scheduling Agent implementations (the hooks of sections 3.7-3.8).
+
+A Scheduling Agent answers ``ChooseMagistrate(class, candidates)``:
+given the class asking and its Candidate Magistrate List (None meaning
+"no restriction", in which case the agent falls back to the magistrates
+it knows about), return the magistrate that should receive the next
+Create()/Derive().  Policies differ in how they pick.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulingError
+from repro.core.method import InvocationContext
+from repro.core.object_base import LegionObjectImpl, legion_method
+from repro.naming.loid import LOID
+
+
+class SchedulingAgentImpl(LegionObjectImpl):
+    """Base Scheduling Agent: knows a pool of magistrates, picks per policy."""
+
+    def __init__(self, magistrates: Optional[List[LOID]] = None) -> None:
+        #: The magistrates this agent may place objects on when the asking
+        #: class has no candidate restriction.
+        self.magistrates: List[LOID] = list(magistrates or [])
+
+    @legion_method("AddMagistrate(LOID)")
+    def add_magistrate(self, magistrate: LOID) -> None:
+        """Extend the pool (e.g. when a jurisdiction splits, section 2.2)."""
+        if magistrate not in self.magistrates:
+            self.magistrates.append(magistrate)
+
+    def _pool(self, candidates: Optional[List[LOID]]) -> List[LOID]:
+        pool = candidates if candidates is not None else self.magistrates
+        if not pool:
+            raise SchedulingError("scheduling agent has no magistrates to choose from")
+        return pool
+
+    @legion_method("LOID ChooseMagistrate(LOID, list)")
+    def choose_magistrate(
+        self,
+        asking_class: LOID,
+        candidates: Optional[List[LOID]],
+        *,
+        ctx: Optional[InvocationContext] = None,
+    ):
+        """Pick the magistrate for the asking class's next creation."""
+        raise SchedulingError(
+            f"{type(self).__name__} does not implement a choice policy"
+        )
+
+
+class RoundRobinSchedulingAgent(SchedulingAgentImpl):
+    """Cycle through the pool; even spread regardless of load."""
+
+    def __init__(self, magistrates: Optional[List[LOID]] = None) -> None:
+        super().__init__(magistrates)
+        self._next = 0
+
+    def choose_magistrate(self, asking_class, candidates, *, ctx=None):
+        pool = self._pool(candidates)
+        choice = pool[self._next % len(pool)]
+        self._next += 1
+        return choice
+
+
+class RandomSchedulingAgent(SchedulingAgentImpl):
+    """Uniform random choice; stateless and contention-free."""
+
+    def choose_magistrate(self, asking_class, candidates, *, ctx=None):
+        pool = self._pool(candidates)
+        rng = self.services.rng.stream("scheduling-random")
+        return pool[rng.randrange(len(pool))]
+
+
+class StaticSchedulingAgent(SchedulingAgentImpl):
+    """Pin every class to one magistrate (per-class overrides allowed).
+
+    Models a site that wants all of its objects under its own magistrate
+    (the autonomy posture of section 2.2).
+    """
+
+    def __init__(self, default: LOID, per_class: Optional[dict] = None) -> None:
+        super().__init__([default])
+        self.default = default
+        self.per_class = dict(per_class or {})
+
+    def choose_magistrate(self, asking_class, candidates, *, ctx=None):
+        choice = self.per_class.get(asking_class.identity, self.default)
+        if candidates is not None and choice not in candidates:
+            raise SchedulingError(
+                f"pinned magistrate {choice} is not a candidate for {asking_class}"
+            )
+        return choice
+
+
+class LeastLoadedSchedulingAgent(SchedulingAgentImpl):
+    """Query each candidate's ManagedCount() and pick the smallest.
+
+    The expensive-but-balanced policy: exercises the paper's intent that
+    scheduling logic lives in agents and drives magistrates through their
+    exported primitives.
+    """
+
+    def choose_magistrate(self, asking_class, candidates, *, ctx=None):
+        pool = self._pool(candidates)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        best: Optional[LOID] = None
+        best_count = None
+        for magistrate in pool:
+            count = yield from self.runtime.invoke(
+                magistrate, "ManagedCount", env=env
+            )
+            if best_count is None or count < best_count:
+                best_count = count
+                best = magistrate
+        return best

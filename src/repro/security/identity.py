@@ -1,0 +1,52 @@
+"""Identity: Iam() support via the LOID public-key field.
+
+The paper reserves the low-order P bits of every LOID for a public key
+"used for security purposes" (section 3.2) and gives objects an ``Iam()``
+member function.  The full Legion security architecture lives in its
+ref [8]; the core model only needs identities to be *checkable*, so this
+reproduction derives keys deterministically from the LOID's identity
+fields and a per-system secret (see :mod:`repro.naming.loid`) and verifies
+them here.  A forged LOID -- right identity fields, wrong key -- fails
+verification, which is the property the trust mechanisms (magistrate and
+host policies) rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.naming.loid import LOID, derive_public_key
+
+
+def verify_identity(loid: LOID, system_secret: int) -> bool:
+    """Whether ``loid``'s public key is genuine under ``system_secret``."""
+    return loid.verify_key(system_secret)
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """What an object presents when asked ``Iam()``.
+
+    The response token binds the object's LOID to a challenge nonce under
+    the system secret, so it cannot be replayed for a different challenge.
+    """
+
+    loid: LOID
+    token: bytes
+
+    @classmethod
+    def respond(cls, loid: LOID, challenge: int, system_secret: int) -> "Credentials":
+        """Produce the Iam() response for ``challenge``."""
+        token = hashlib.sha256(
+            f"{system_secret}:{loid.pack().hex()}:{challenge}".encode()
+        ).digest()
+        return cls(loid=loid, token=token)
+
+    def verify(self, challenge: int, system_secret: int) -> bool:
+        """Check the token against the challenge and the claimed LOID."""
+        expected = Credentials.respond(self.loid, challenge, system_secret)
+        return (
+            self.token == expected.token
+            and verify_identity(self.loid, system_secret)
+        )

@@ -1,0 +1,317 @@
+"""The discrete-event loop: simulated clock, events, generator processes.
+
+Processes are plain Python generators.  A process may ``yield``:
+
+* a :class:`~repro.simkernel.futures.SimFuture` -- suspend until resolved;
+  the ``yield`` expression evaluates to the future's result, and a failed
+  future re-raises its exception *inside* the process (so processes use
+  ordinary ``try/except``);
+* a :class:`Timeout` -- suspend for simulated time;
+* another generator -- spawned as a child process and awaited;
+* ``None`` -- yield the floor: resume after all currently-due events.
+
+A process's ``return`` value becomes the result of the :class:`SimFuture`
+returned by :meth:`SimKernel.spawn`.
+
+The loop is strictly deterministic: events at equal times run in schedule
+order (a monotonically increasing sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import ProcessKilled, SimulationDeadlock, SimulationError
+from repro.simkernel.futures import SimFuture
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yieldable marker: suspend the yielding process for ``delay`` time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout {self.delay}")
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`SimKernel.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from running (no-op if already run)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (was) due."""
+        return self._event.time
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Not constructed directly -- use :meth:`SimKernel.spawn`.
+    """
+
+    __slots__ = ("kernel", "gen", "future", "name", "_alive")
+
+    def __init__(self, kernel: "SimKernel", gen: ProcessGen, name: str) -> None:
+        self.kernel = kernel
+        self.gen = gen
+        self.future = SimFuture(name or "process")
+        self.name = name
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns, raises, or is killed."""
+        return self._alive
+
+    def kill(self, reason: str = "killed") -> None:
+        """Throw :class:`ProcessKilled` into the process at its next step."""
+        if not self._alive:
+            return
+        self.kernel.schedule(0.0, lambda: self._step_throw(ProcessKilled(reason)))
+
+    # -- stepping -----------------------------------------------------------
+
+    def _step_send(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - mirrored to future
+            self._fail(exc)
+            return
+        self._handle_yield(yielded)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        try:
+            yielded = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - mirrored to future
+            self._fail(err)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, SimFuture):
+            yielded.add_done_callback(self._on_future)
+        elif isinstance(yielded, Timeout):
+            self.kernel.schedule(yielded.delay, lambda: self._step_send(None))
+        elif isinstance(yielded, Generator):
+            child = self.kernel.spawn(yielded, name=self.name + ".child")
+            child.add_done_callback(self._on_future)
+        elif yielded is None:
+            self.kernel.schedule(0.0, lambda: self._step_send(None))
+        else:
+            self._step_throw(
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+                )
+            )
+
+    def _on_future(self, fut: SimFuture) -> None:
+        # Resume on a fresh event so resolution code never re-enters the
+        # process synchronously (keeps stack depth bounded & ordering stable).
+        if fut.failed():
+            exc = fut.exception()
+            assert exc is not None
+            self.kernel.schedule(0.0, lambda: self._step_throw(exc))
+        else:
+            self.kernel.schedule(0.0, lambda: self._step_send(fut._result))
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self.future.set_result(value)
+
+    def _fail(self, exc: BaseException) -> None:
+        self._alive = False
+        self.future.set_exception(exc)
+
+
+class SimKernel:
+    """The discrete-event simulation loop.
+
+    Examples
+    --------
+    >>> k = SimKernel()
+    >>> def proc():
+    ...     yield Timeout(5.0)
+    ...     return k.now
+    >>> fut = k.spawn(proc())
+    >>> k.run()
+    >>> fut.result()
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[_Event] = []
+        self._processes_spawned = 0
+        self._events_executed = 0
+
+    # -- clock & stats ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total events run so far (monotone; useful for budget guards)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Events currently queued (including cancelled placeholders)."""
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn()`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        ev = _Event(self._now + delay, self._seq, fn)
+        heapq.heappush(self._queue, ev)
+        return EventHandle(ev)
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> EventHandle:
+        """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
+        return self.schedule(when - self._now, fn)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> SimFuture:
+        """Start ``gen`` as a process; returns a future for its return value.
+
+        The first step of the process runs on a fresh event at the current
+        time, never synchronously inside ``spawn`` -- so spawn order, not
+        call-stack shape, determines execution order.
+        """
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self._processes_spawned += 1
+        proc = Process(self, gen, name or f"proc-{self._processes_spawned}")
+        self.schedule(0.0, lambda: proc._step_send(None))
+        return proc.future
+
+    def spawn_process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Like :meth:`spawn` but returns the :class:`Process` (killable)."""
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"spawn_process() needs a generator, got {type(gen).__name__}"
+            )
+        self._processes_spawned += 1
+        proc = Process(self, gen, name or f"proc-{self._processes_spawned}")
+        self.schedule(0.0, lambda: proc._step_send(None))
+        return proc
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Convenience: schedule ``fn(*args)``."""
+        return self.schedule(delay, lambda: fn(*args))
+
+    # -- running ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue went backwards in time")
+            self._now = ev.time
+            self._events_executed += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this (the clock is left at
+            ``until``; later events remain queued).
+        max_events:
+            Safety valve for runaway simulations.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"run() exceeded max_events={max_events}")
+            nxt = self._peek()
+            if nxt is None:
+                break
+            if until is not None and nxt.time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_complete(self, fut: SimFuture, max_events: Optional[int] = None) -> Any:
+        """Run until ``fut`` resolves; return its result (or raise).
+
+        Raises :class:`SimulationDeadlock` if the queue drains first.
+        """
+        executed = 0
+        while not fut.done():
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            if not self.step():
+                raise SimulationDeadlock(
+                    f"event queue drained before future {fut.name!r} resolved"
+                )
+            executed += 1
+        return fut.result()
+
+    def _peek(self) -> Optional[_Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    # -- helpers ------------------------------------------------------------
+
+    def sleep(self, delay: float) -> SimFuture:
+        """A future that resolves after ``delay`` (for callback-style code)."""
+        fut = SimFuture(f"sleep-{delay}")
+        self.schedule(delay, lambda: fut.set_result(None))
+        return fut
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimKernel t={self._now:.3f} queued={len(self._queue)}>"

@@ -1,0 +1,25 @@
+"""System bring-up and the LegionSystem facade.
+
+* :mod:`repro.system.bootstrap` -- the bootstrap procedure of paper
+  section 4.2.1: the core Abstract class objects (LegionObject,
+  LegionClass, LegionHost, LegionMagistrate, LegionBindingAgent,
+  LegionScheduler) are "started exactly once -- when the Legion system
+  comes alive", outside the normal creation path.
+* :class:`LegionSystem` -- a builder/facade that assembles a complete
+  simulated Legion: sites with hosts and disks, one jurisdiction and
+  magistrate per site, binding agents, the standard derived classes
+  (UnixHost and friends, StandardMagistrate, ...), a string-name Context,
+  and a client console for issuing method calls from outside Legion
+  (the "client host" notion of the paper's section 2.1.3 footnote).
+"""
+
+from repro.system.bootstrap import CoreObjects, bootstrap_core, register_standard_factories
+from repro.system.legion import LegionSystem, SiteSpec
+
+__all__ = [
+    "CoreObjects",
+    "bootstrap_core",
+    "register_standard_factories",
+    "LegionSystem",
+    "SiteSpec",
+]

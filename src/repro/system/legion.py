@@ -1,0 +1,488 @@
+"""LegionSystem: builder and facade for a complete simulated Legion.
+
+``LegionSystem.build(...)`` assembles, in bootstrap order (section 4.2.1):
+
+1. the simulation kernel, network, and latency model (hosts → sites);
+2. the six core Abstract class objects (via :mod:`repro.system.bootstrap`);
+3. the standard derived classes, started out-of-band like the cores:
+   UnixHost / SPMDHost / UnixSMMP / CM-5 / CrayT3D (Fig. 8),
+   StandardMagistrate (kind-of LegionMagistrate), StandardBindingAgent
+   (kind-of LegionBindingAgent), StandardScheduler;
+4. per site: a Jurisdiction with disks (a Vault), Host Objects started
+   "from the command line" that then *contact their class* to register,
+   a Magistrate that adopts the site's hosts, and a Binding Agent that
+   becomes the default agent for objects activated at that site;
+5. a string-name Context (the single persistent name space) and a client
+   console -- a "client host" in the paper's sense -- for issuing calls
+   from outside Legion.
+
+After ``build``, applications use :meth:`create_class`,
+:meth:`create_instance`, and :meth:`call` -- each a thin wrapper over real
+Legion method invocations travelling through the simulated network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import BootstrapError, LegionError
+from repro.binding.agent import BindingAgentImpl
+from repro.core.class_types import ClassFlavor
+from repro.core.context import SystemServices
+from repro.core.legion_class import ClassObjectImpl
+from repro.core.object_base import LegionObjectImpl
+from repro.core.relations import RelationGraph
+from repro.core.server import ObjectServer
+from repro.hosts.host_object import HostObjectImpl
+from repro.hosts.host_types import (
+    CM5HostImpl,
+    CrayT3DHostImpl,
+    SPMDHostImpl,
+    UnixHostImpl,
+    UnixSMMPHostImpl,
+)
+from repro.jurisdiction.jurisdiction import Jurisdiction
+from repro.jurisdiction.magistrate import MagistrateImpl
+from repro.metrics.counters import ComponentKind
+from repro.naming.binding import Binding
+from repro.naming.context import Context
+from repro.naming.loid import LOID
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.persistence.storage import PersistentStore
+from repro.simkernel.futures import SimFuture
+from repro.simkernel.kernel import SimKernel
+from repro.simkernel.rng import RngStreams
+from repro.system.bootstrap import CoreObjects, bootstrap_core
+
+#: host_type string → Host Object implementation class (Fig. 8).
+HOST_TYPES: Dict[str, type] = {
+    "unix": UnixHostImpl,
+    "unix-smmp": UnixSMMPHostImpl,
+    "spmd": SPMDHostImpl,
+    "cm-5": CM5HostImpl,
+    "cray-t3d": CrayT3DHostImpl,
+}
+
+#: host_type → (class name, superclass name) for the Fig. 8 hierarchy.
+HOST_CLASS_HIERARCHY: Dict[str, Tuple[str, str]] = {
+    "unix": ("UnixHost", "LegionHost"),
+    "spmd": ("SPMDHost", "LegionHost"),
+    "unix-smmp": ("UnixSMMP", "UnixHost"),
+    "cm-5": ("CM5", "SPMDHost"),
+    "cray-t3d": ("CrayT3D", "SPMDHost"),
+}
+
+
+@dataclass
+class SiteSpec:
+    """One site (organisation) of the testbed."""
+
+    name: str
+    hosts: int = 2
+    host_type: str = "unix"
+    disks: int = 1
+    disk_capacity: Optional[int] = None
+    #: Processes per host (None = the host type's default).
+    max_processes: Optional[int] = None
+
+
+class LegionSystem:
+    """A fully assembled simulated Legion.  Use :meth:`build`."""
+
+    #: Class id used for client consoles (outside Legion; never resolved).
+    _CLIENT_CLASS_ID = 7
+
+    def __init__(self) -> None:
+        self.kernel: SimKernel = None  # type: ignore[assignment]
+        self.network: Network = None  # type: ignore[assignment]
+        self.services: SystemServices = None  # type: ignore[assignment]
+        self.core: CoreObjects = None  # type: ignore[assignment]
+        self.sites: List[SiteSpec] = []
+        self.jurisdictions: Dict[str, Jurisdiction] = {}
+        self.magistrates: Dict[str, ObjectServer] = {}
+        self.host_servers: Dict[int, ObjectServer] = {}
+        self.site_hosts: Dict[str, List[int]] = {}
+        self.agents: Dict[str, ObjectServer] = {}
+        self.standard_classes: Dict[str, ObjectServer] = {}
+        self.context = Context()
+        self.console: ObjectServer = None  # type: ignore[assignment]
+        self._client_seq = itertools.count(1)
+        self._host_ids = itertools.count(1)
+        self._registrations: list = []
+
+    # ------------------------------------------------------------------ building
+
+    @classmethod
+    def build(
+        cls,
+        sites: Sequence[SiteSpec],
+        seed: int = 0,
+        placement: str = "round-robin",
+        agent_cache_capacity: int = 4096,
+        binding_ttl: Optional[float] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> "LegionSystem":
+        """Assemble a system with one jurisdiction per site."""
+        if not sites:
+            raise BootstrapError("a Legion system needs at least one site")
+        system = cls()
+        system.sites = list(sites)
+        system.kernel = SimKernel()
+        rng = RngStreams(seed)
+        lat = latency_model or LatencyModel()
+        system.network = Network(system.kernel, lat, rng=rng.stream("network"))
+        system.services = SystemServices(
+            kernel=system.kernel,
+            network=system.network,
+            rng=rng,
+            relations=RelationGraph(),
+        )
+
+        # -- host-id allocation first: the core objects need a host to sit on.
+        for spec in system.sites:
+            ids = [next(system._host_ids) for _ in range(spec.hosts)]
+            system.site_hosts[spec.name] = ids
+            for host_id in ids:
+                lat.assign_host(host_id, spec.name)
+
+        core_host = system.site_hosts[system.sites[0].name][0]
+        system.core = bootstrap_core(system.services, core_host)
+
+        # -- standard derived classes, started out-of-band (Fig. 8 / Fig. 9).
+        system._bootstrap_standard_classes(core_host)
+
+        # -- per-site infrastructure.
+        for spec in system.sites:
+            system._build_site(spec, placement, agent_cache_capacity)
+
+        # -- the default binding agent is the first site's agent.
+        first_site = system.sites[0].name
+        system.services.default_binding_agent = system.agents[first_site].binding()
+        # Core objects also get an agent (they were built before agents).
+        for server in system.core.servers.values():
+            server.runtime.set_binding_agent(system.agents[first_site].binding())
+
+        # -- open LegionObject and LegionClass for user derivation: any
+        #    magistrate may host user classes and instances.
+        all_magistrates = [m.loid for m in system.magistrates.values()]
+        for role in ("LegionObject", "LegionClass"):
+            system.core[role].impl.candidate_magistrates = list(all_magistrates)
+        if binding_ttl is not None:
+            for role in ("LegionObject", "LegionClass"):
+                system.core[role].impl.binding_ttl = binding_ttl
+
+        # -- a client console (the paper's "client host" notion).
+        system.console = system.new_client("console")
+
+        # -- drain bootstrap registrations, surfacing any failure.
+        system.kernel.run()
+        for fut in system._registrations:
+            if not fut.done():
+                raise BootstrapError(f"registration {fut.name!r} never completed")
+            fut.result()  # re-raises registration failures
+        system._registrations.clear()
+        return system
+
+    def _bootstrap_standard_classes(self, core_host: int) -> None:
+        """Start the Fig. 8 host classes and the standard infrastructure
+        classes out-of-band, registering each with LegionClass."""
+        legion_class = self.core.legion_class
+        relations = self.services.relations
+
+        def start_class(name: str, superclass_role_or_name: str, flavor=ClassFlavor.REGULAR) -> ObjectServer:
+            if superclass_role_or_name in self.core.servers:
+                super_loid = self.core.loid(superclass_role_or_name)
+            else:
+                super_loid = self.standard_classes[superclass_role_or_name].loid
+            class_id = legion_class.allocate_class_id(super_loid, name)
+            loid = LOID.for_class(class_id, self.services.secret)
+            impl = ClassObjectImpl(
+                class_name=name,
+                class_id=class_id,
+                flavor=flavor,
+                superclass=super_loid,
+            )
+            server = ObjectServer(
+                self.services,
+                loid,
+                impl,
+                host=core_host,
+                component_kind=ComponentKind.CLASS_OBJECT,
+                component_name=name,
+                cache_capacity=4096,
+            )
+            for binding in self.services.core_bindings.values():
+                server.runtime.seed_binding(binding, permanent=True)
+            relations.record_kind_of(loid, super_loid)
+            # The creating (responsible) class must be able to locate the
+            # new class object: enter it in the creator's logical table.
+            creator_server = self._server_for(super_loid)
+            if creator_server is not None:
+                from repro.core.table import TableRow
+
+                creator_server.impl.table.add(
+                    TableRow(
+                        loid=loid,
+                        object_address=server.address,
+                        current_magistrates=[],
+                        is_subclass=True,
+                    )
+                )
+            self.standard_classes[name] = server
+            return server
+
+        # Fig. 8 host hierarchy (parents before children).
+        start_class("UnixHost", "LegionHost", ClassFlavor.REGULAR)
+        start_class("SPMDHost", "LegionHost", ClassFlavor.REGULAR)
+        start_class("UnixSMMP", "UnixHost", ClassFlavor.REGULAR)
+        start_class("CM5", "SPMDHost", ClassFlavor.REGULAR)
+        start_class("CrayT3D", "SPMDHost", ClassFlavor.REGULAR)
+        # Standard infrastructure classes (Fig. 9 pattern).
+        start_class("StandardMagistrate", "LegionMagistrate")
+        start_class("StandardBindingAgent", "LegionBindingAgent")
+        start_class("StandardScheduler", "LegionScheduler")
+
+    def _server_for(self, loid: LOID) -> Optional[ObjectServer]:
+        for server in self.core.servers.values():
+            if server.loid == loid:
+                return server
+        for server in self.standard_classes.values():
+            if server.loid == loid:
+                return server
+        return None
+
+    def _build_site(self, spec: SiteSpec, placement: str, agent_cache: int) -> None:
+        """One site: jurisdiction, disks, hosts, magistrate, binding agent."""
+        jurisdiction = Jurisdiction(spec.name)
+        for i in range(spec.disks):
+            jurisdiction.vault.add_store(
+                PersistentStore(spec.name, f"disk{i}", capacity_bytes=spec.disk_capacity)
+            )
+        self.jurisdictions[spec.name] = jurisdiction
+
+        host_class_name, _parent = HOST_CLASS_HIERARCHY[spec.host_type]
+        host_class = self.standard_classes[host_class_name]
+        host_impl_type = HOST_TYPES[spec.host_type]
+
+        # Host Objects: started "from a command line" on each host, then
+        # they contact their class to register (done below, by message).
+        site_host_servers: List[ObjectServer] = []
+        for host_id in self.site_hosts[spec.name]:
+            kwargs: Dict[str, Any] = {"host_id": host_id}
+            if spec.max_processes is not None and spec.host_type in ("unix", "unix-smmp"):
+                kwargs["max_processes"] = spec.max_processes
+            impl: HostObjectImpl = host_impl_type(**kwargs)
+            loid = host_class.impl._allocate_instance_loid()
+            server = ObjectServer(
+                self.services,
+                loid,
+                impl,
+                host=host_id,
+                component_kind=ComponentKind.HOST_OBJECT,
+                component_name=f"{spec.name}/h{host_id}",
+            )
+            self.host_servers[host_id] = server
+            site_host_servers.append(server)
+            jurisdiction.add_host(host_id, loid)
+
+        # The site's Magistrate, on the site's first host.
+        magistrate_class = self.standard_classes["StandardMagistrate"]
+        magistrate_impl = MagistrateImpl(jurisdiction, placement=placement)
+        magistrate_loid = magistrate_class.impl._allocate_instance_loid()
+        magistrate_server = ObjectServer(
+            self.services,
+            magistrate_loid,
+            magistrate_impl,
+            host=self.site_hosts[spec.name][0],
+            component_kind=ComponentKind.MAGISTRATE,
+            component_name=spec.name,
+        )
+        self.magistrates[spec.name] = magistrate_server
+        jurisdiction.magistrate = magistrate_loid
+
+        # The site's Binding Agent, on the site's first host.
+        agent_class = self.standard_classes["StandardBindingAgent"]
+        agent_impl = BindingAgentImpl()
+        agent_loid = agent_class.impl._allocate_instance_loid()
+        agent_server = ObjectServer(
+            self.services,
+            agent_loid,
+            agent_impl,
+            host=self.site_hosts[spec.name][0],
+            component_kind=ComponentKind.BINDING_AGENT,
+            component_name=spec.name,
+            cache_capacity=agent_cache,
+        )
+        self.agents[spec.name] = agent_server
+
+        # Wire the site together (bring-up is direct; registration is by
+        # real Legion invocation, per section 4.2.1).
+        agent_binding = agent_server.binding()
+        # The agent consults itself on its own cache misses (the message
+        # still travels the network; self-resolution bottoms out at the
+        # seeded LegionClass binding).
+        agent_server.runtime.set_binding_agent(agent_binding)
+        magistrate_server.runtime.set_binding_agent(agent_binding)
+        for server in site_host_servers:
+            impl = server.impl
+            impl.site_binding_agent = agent_binding
+            impl.magistrate = magistrate_loid
+            server.runtime.set_binding_agent(agent_binding)
+            magistrate_impl.add_host(server.binding())
+            self._registrations.append(
+                self.kernel.spawn(
+                    server.runtime.invoke(
+                        host_class.loid, "RegisterOutOfBand", server.binding()
+                    ),
+                    name=f"register-host-{server.loid}",
+                )
+            )
+        self._registrations.append(
+            self.kernel.spawn(
+                magistrate_server.runtime.invoke(
+                    magistrate_class.loid,
+                    "RegisterOutOfBand",
+                    magistrate_server.binding(),
+                ),
+                name=f"register-magistrate-{spec.name}",
+            )
+        )
+        self._registrations.append(
+            self.kernel.spawn(
+                agent_server.runtime.invoke(
+                    agent_class.loid, "RegisterOutOfBand", agent_server.binding()
+                ),
+                name=f"register-agent-{spec.name}",
+            )
+        )
+
+    # ------------------------------------------------------------------- clients
+
+    def new_client(self, name: str = "", site: Optional[str] = None) -> ObjectServer:
+        """A client console: can call into Legion, is not a Legion resource.
+
+        Clients live on a site's first host (default: the first site) so
+        their traffic has a locality class, but they are not registered
+        with any class -- per the paper's "client hosts" footnote.
+        """
+        site = site or self.sites[0].name
+        host_id = self.site_hosts[site][0]
+        seq = next(self._client_seq)
+        loid = LOID.for_instance(self._CLIENT_CLASS_ID, seq, self.services.secret)
+        impl = LegionObjectImpl()
+        server = ObjectServer(
+            self.services,
+            loid,
+            impl,
+            host=host_id,
+            component_kind=ComponentKind.OTHER,
+            component_name=name or f"client-{seq}",
+        )
+        server.runtime.set_binding_agent(self.agents[site].binding())
+        return server
+
+    # --------------------------------------------------------------------- running
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue (optionally up to a simulated time)."""
+        self.kernel.run(until=until)
+
+    def call(
+        self,
+        target: Union[LOID, str],
+        method: str,
+        *args: Any,
+        client: Optional[ObjectServer] = None,
+        timeout: Optional[float] = None,
+        max_events: Optional[int] = 2_000_000,
+    ) -> Any:
+        """Issue one Legion method invocation and run it to completion.
+
+        ``target`` may be a LOID or a Context name.  The call originates
+        at the console (or the given client), travels the simulated
+        network, and this method returns the unwrapped result.
+        """
+        loid = self.lookup(target) if isinstance(target, str) else target
+        origin = client or self.console
+        fut = self.kernel.spawn(
+            origin.runtime.invoke(loid, method, *args, timeout=timeout),
+            name=f"call-{loid}.{method}",
+        )
+        return self.kernel.run_until_complete(fut, max_events=max_events)
+
+    def spawn(self, gen, name: str = "") -> SimFuture:
+        """Start a simulation process (for scripted multi-call scenarios)."""
+        return self.kernel.spawn(gen, name=name)
+
+    # ------------------------------------------------------------------ name space
+
+    def bind_name(self, name: str, loid: LOID) -> None:
+        """Publish ``loid`` in the single persistent name space."""
+        self.context.bind(name, loid, replace=True)
+
+    def lookup(self, name: str) -> LOID:
+        """Resolve a context name to a LOID."""
+        return self.context.lookup(name)
+
+    # ----------------------------------------------------------------- applications
+
+    def create_class(
+        self,
+        name: str,
+        instance_factory: str = "",
+        factory: Optional[Callable[..., LegionObjectImpl]] = None,
+        superclass: Union[LOID, str, None] = None,
+        context_name: Optional[str] = None,
+        **options: Any,
+    ) -> Binding:
+        """Derive a new user class (from LegionObject by default).
+
+        ``factory`` (a callable) is registered in the implementation
+        registry under ``instance_factory`` if given.  Returns the new
+        class object's Binding and binds ``context_name`` (default
+        ``classes/<name>``) in the name space.
+        """
+        if factory is not None:
+            if not instance_factory:
+                instance_factory = f"app.{name}"
+            self.services.impls.register(instance_factory, factory, replace=True)
+        if instance_factory:
+            options.setdefault("instance_factory", instance_factory)
+        if superclass is None:
+            super_loid = self.core.loid("LegionObject")
+        elif isinstance(superclass, str):
+            super_loid = self.lookup(superclass)
+        else:
+            super_loid = superclass
+        binding: Binding = self.call(super_loid, "Derive", name, options)
+        self.bind_name(context_name or f"classes/{name}", binding.loid)
+        return binding
+
+    def create_instance(
+        self,
+        cls: Union[LOID, str],
+        context_name: Optional[str] = None,
+        **hints: Any,
+    ) -> Binding:
+        """Create() an instance of ``cls``; optionally bind a context name."""
+        class_loid = self.lookup(cls) if isinstance(cls, str) else cls
+        binding: Binding = self.call(class_loid, "Create", hints)
+        if context_name:
+            self.bind_name(context_name, binding.loid)
+        return binding
+
+    # ------------------------------------------------------------------- metrics
+
+    def reset_measurements(self) -> None:
+        """Zero all counters (between warm-up and measurement phases)."""
+        self.services.metrics.reset()
+        self.network.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LegionSystem sites={len(self.sites)} "
+            f"hosts={len(self.host_servers)} t={self.kernel.now:.1f}>"
+        )

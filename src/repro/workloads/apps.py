@@ -1,0 +1,110 @@
+"""Small application objects used by examples, tests, and experiments.
+
+These are ordinary user-level Legion objects: they subclass
+:class:`~repro.core.object_base.LegionObjectImpl`, export methods with
+:func:`~repro.core.object_base.legion_method`, and declare persistent
+attributes so deactivation/migration round-trips preserve their state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.object_base import LegionObjectImpl, legion_method
+from repro.simkernel.kernel import Timeout
+
+
+class CounterImpl(LegionObjectImpl):
+    """The canonical stateful object: an integer counter."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = int(start)
+
+    def persistent_attributes(self) -> List[str]:
+        return ["value"]
+
+    @legion_method("int Increment(int)")
+    def increment(self, amount: int) -> int:
+        """Add ``amount``; returns the new value."""
+        self.value += int(amount)
+        return self.value
+
+    @legion_method("int Get()")
+    def get(self) -> int:
+        """The current value."""
+        return self.value
+
+    @legion_method("Reset()")
+    def reset(self) -> None:
+        """Back to zero."""
+        self.value = 0
+
+
+class KVStoreImpl(LegionObjectImpl):
+    """A key-value store: the paper's "remote files and data" made easy
+    to reach through the single persistent name space."""
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self.data: Dict[str, Any] = dict(initial or {})
+
+    def persistent_attributes(self) -> List[str]:
+        return ["data"]
+
+    @legion_method("Put(string, value)")
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``."""
+        self.data[key] = value
+
+    @legion_method("value Get(string)")
+    def get(self, key: str) -> Any:
+        """The value under ``key`` (KeyError crosses as InvocationFailed)."""
+        return self.data[key]
+
+    @legion_method("bool Has(string)")
+    def has(self, key: str) -> bool:
+        """Whether ``key`` is present."""
+        return key in self.data
+
+    @legion_method("value Delete(string)")
+    def delete(self, key: str) -> Any:
+        """Remove and return the value under ``key``."""
+        return self.data.pop(key)
+
+    @legion_method("int Size()")
+    def size(self) -> int:
+        """Number of stored keys."""
+        return len(self.data)
+
+    @legion_method("list Keys()")
+    def keys(self) -> List[str]:
+        """All keys, sorted."""
+        return sorted(self.data)
+
+
+class WorkerImpl(LegionObjectImpl):
+    """A compute worker: simulates work by sleeping simulated time.
+
+    Models the paper's motivating wide-area computations: a caller farms
+    Compute() calls out to workers placed across sites.
+    """
+
+    def __init__(self, speed: float = 1.0) -> None:
+        #: Work units per simulated millisecond.
+        self.speed = float(speed)
+        self.completed = 0
+
+    def persistent_attributes(self) -> List[str]:
+        return ["speed", "completed"]
+
+    @legion_method("float Compute(float)")
+    def compute(self, work_units: float):
+        """Burn ``work_units`` of simulated compute; returns elapsed ms."""
+        duration = float(work_units) / self.speed
+        yield Timeout(duration)
+        self.completed += 1
+        return duration
+
+    @legion_method("int Completed()")
+    def completed_count(self) -> int:
+        """How many Compute() calls have finished."""
+        return self.completed

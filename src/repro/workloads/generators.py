@@ -1,0 +1,224 @@
+"""Workload generators: popularity, locality, traffic, and churn.
+
+Each driver is a thin object that *plans* (which client calls which target
+when) and then runs the plan as simulation processes.  Planning is
+separated from execution so experiments can inspect or replay plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LegionError
+from repro.core.server import ObjectServer
+from repro.naming.loid import LOID
+from repro.simkernel.futures import SimFuture, gather
+from repro.simkernel.kernel import SimKernel, Timeout
+
+
+class ZipfPopularity:
+    """Zipf-distributed choice over N items (section 5.2.2's hot classes).
+
+    ``s`` is the exponent: 0 gives uniform, larger is more skewed (the
+    classic web/file-popularity regime is around 0.8-1.2).  Sampling uses
+    an explicit normalised CDF over exactly N items, so probabilities are
+    exact rather than tail-truncated.
+    """
+
+    def __init__(self, n: int, s: float = 1.0, rng: Optional[np.random.Generator] = None) -> None:
+        if n < 1:
+            raise LegionError(f"ZipfPopularity needs n >= 1, got {n}")
+        if s < 0:
+            raise LegionError(f"Zipf exponent must be >= 0, got {s}")
+        self.n = n
+        self.s = s
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-s)
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._rng = rng or np.random.default_rng(0)
+
+    def sample(self) -> int:
+        """One index in [0, n), rank 0 most popular."""
+        return int(np.searchsorted(self._cdf, self._rng.random(), side="right"))
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """``count`` indices at once (vectorised)."""
+        return np.searchsorted(self._cdf, self._rng.random(count), side="right")
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of the item at ``rank``."""
+        lo = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - lo)
+
+
+class LocalityMix:
+    """Pick targets with a configured fraction of same-site accesses.
+
+    Implements the paper's first scalability assumption knob: "most
+    accesses will be local".  ``local_fraction=0.9`` means 90% of choices
+    come from the caller's own site.
+    """
+
+    def __init__(
+        self,
+        targets_by_site: Dict[str, Sequence[LOID]],
+        local_fraction: float,
+        rng,
+    ) -> None:
+        if not 0.0 <= local_fraction <= 1.0:
+            raise LegionError(f"local_fraction must be in [0,1], got {local_fraction}")
+        self.targets_by_site = {k: list(v) for k, v in targets_by_site.items()}
+        self.local_fraction = local_fraction
+        self.rng = rng
+        self._all_sites = sorted(self.targets_by_site)
+
+    def choose(self, caller_site: str) -> LOID:
+        """A target for a caller at ``caller_site``."""
+        local = self.targets_by_site.get(caller_site, [])
+        if local and self.rng.random() < self.local_fraction:
+            return local[self.rng.randrange(len(local))]
+        remote_sites = [s for s in self._all_sites if s != caller_site] or self._all_sites
+        site = remote_sites[self.rng.randrange(len(remote_sites))]
+        pool = self.targets_by_site[site]
+        return pool[self.rng.randrange(len(pool))]
+
+
+@dataclass
+class TrafficStats:
+    """Outcome of one TrafficDriver run."""
+
+    calls_issued: int = 0
+    calls_succeeded: int = 0
+    calls_failed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of issued calls that returned a value."""
+        return self.calls_succeeded / self.calls_issued if self.calls_issued else 0.0
+
+
+class TrafficDriver:
+    """Run invocation loops from a set of clients.
+
+    Each client issues ``calls_per_client`` invocations of ``method`` with
+    ``args``, choosing a target per call via ``choose_target(client)``,
+    with ``think_time`` simulated ms between calls.  Returns a
+    :class:`TrafficStats` future (resolve by running the kernel).
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        clients: Sequence[ObjectServer],
+        choose_target,
+        method: str = "Ping",
+        args: Tuple[Any, ...] = (),
+        calls_per_client: int = 10,
+        think_time: float = 1.0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.clients = list(clients)
+        self.choose_target = choose_target
+        self.method = method
+        self.args = tuple(args)
+        self.calls_per_client = calls_per_client
+        self.think_time = think_time
+        self.timeout = timeout
+        self.stats = TrafficStats()
+
+    def _client_loop(self, client: ObjectServer):
+        for _i in range(self.calls_per_client):
+            target = self.choose_target(client)
+            self.stats.calls_issued += 1
+            try:
+                yield from client.runtime.invoke(
+                    target, self.method, *self.args, timeout=self.timeout
+                )
+                self.stats.calls_succeeded += 1
+            except LegionError as exc:
+                self.stats.calls_failed += 1
+                if len(self.stats.errors) < 32:
+                    self.stats.errors.append(f"{target}.{self.method}: {exc}")
+            if self.think_time > 0:
+                yield Timeout(self.think_time)
+
+    def start(self) -> SimFuture:
+        """Spawn every client loop; future resolves with TrafficStats."""
+        futures = [
+            self.kernel.spawn(self._client_loop(c), name=f"traffic-{c.loid}")
+            for c in self.clients
+        ]
+        return gather(futures).then(lambda _results: self.stats, name="traffic-stats")
+
+
+class ChurnDriver:
+    """Manufacture stale bindings by cycling objects through magistrates.
+
+    Every ``interval`` simulated ms, pick a random managed object and
+    either Deactivate it (a later reference re-activates it at a possibly
+    different address) or Move it to another magistrate.  This is the
+    workload knob behind experiment E6 (section 4.1.4).
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        driver_client: ObjectServer,
+        objects: Sequence[LOID],
+        magistrates: Sequence[LOID],
+        class_loid: LOID,
+        rng,
+        interval: float = 50.0,
+        move_fraction: float = 0.5,
+        rounds: int = 10,
+    ) -> None:
+        self.kernel = kernel
+        self.client = driver_client
+        self.objects = list(objects)
+        self.magistrates = list(magistrates)
+        self.class_loid = class_loid
+        self.rng = rng
+        self.interval = interval
+        self.move_fraction = move_fraction
+        self.rounds = rounds
+        self.churn_events = 0
+
+    def _loop(self):
+        for _round in range(self.rounds):
+            yield Timeout(self.interval)
+            loid = self.objects[self.rng.randrange(len(self.objects))]
+            try:
+                row = yield from self.client.runtime.invoke(
+                    self.class_loid, "GetRow", loid
+                )
+            except LegionError:
+                continue
+            if not row.current_magistrates:
+                continue
+            magistrate = row.current_magistrates[0]
+            try:
+                if (
+                    len(self.magistrates) > 1
+                    and self.rng.random() < self.move_fraction
+                ):
+                    others = [m for m in self.magistrates if m != magistrate]
+                    target = others[self.rng.randrange(len(others))]
+                    yield from self.client.runtime.invoke(
+                        magistrate, "Move", loid, target
+                    )
+                else:
+                    yield from self.client.runtime.invoke(
+                        magistrate, "Deactivate", loid
+                    )
+                self.churn_events += 1
+            except LegionError:
+                continue  # racing with concurrent traffic is expected
+
+    def start(self) -> SimFuture:
+        """Spawn the churn loop; future resolves when rounds complete."""
+        return self.kernel.spawn(self._loop(), name="churn-driver")

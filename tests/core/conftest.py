@@ -1,0 +1,73 @@
+"""Fixtures for core-package tests: bare object servers on a raw network."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.object_base import LegionObjectImpl, legion_method
+from repro.core.server import ObjectServer
+from repro.naming.loid import LOID
+from repro.simkernel.kernel import Timeout
+
+_seq = itertools.count(1)
+
+
+class EchoImpl(LegionObjectImpl):
+    """Test object: echo, add, fail, slow (generator) methods."""
+
+    def __init__(self, tag: str = "echo") -> None:
+        self.tag = tag
+        self.calls = 0
+
+    def persistent_attributes(self):
+        return ["tag", "calls"]
+
+    @legion_method("string Echo(string)")
+    def echo(self, text: str) -> str:
+        self.calls += 1
+        return f"{self.tag}:{text}"
+
+    @legion_method("int Add(int, int)")
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    @legion_method("Fail()")
+    def fail(self) -> None:
+        raise ValueError("intentional")
+
+    @legion_method("float Slow(float)")
+    def slow(self, delay: float):
+        yield Timeout(delay)
+        return self.services.kernel.now
+
+    @legion_method("string WhoCalls()")
+    def who_calls(self, *, ctx=None) -> str:
+        return str(ctx.env.calling_agent)
+
+
+def start_object(services, impl=None, host=1, seq=None):
+    """Register an implementation at a fresh endpoint; returns the server."""
+    loid = LOID.for_instance(
+        90, seq if seq is not None else next(_seq), services.secret
+    )
+    return ObjectServer(services, loid, impl or EchoImpl(), host=host)
+
+
+@pytest.fixture
+def echo_pair(services):
+    """Two live objects (caller, callee) with seeded bindings."""
+    caller = start_object(services, EchoImpl("caller"), host=1)
+    callee = start_object(services, EchoImpl("callee"), host=2)
+    caller.runtime.seed_binding(callee.binding())
+    callee.runtime.seed_binding(caller.binding())
+    return caller, callee
+
+
+def run_call(services, caller, target_loid, method, *args, **kwargs):
+    """Spawn an invoke and drive the kernel to completion."""
+    fut = services.kernel.spawn(
+        caller.runtime.invoke(target_loid, method, *args, **kwargs)
+    )
+    return services.kernel.run_until_complete(fut)

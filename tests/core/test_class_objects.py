@@ -1,0 +1,174 @@
+"""Class-object behaviour against a live system (sections 2.1, 3.7)."""
+
+import pytest
+
+from repro import errors
+from repro.naming.binding import Binding
+
+
+class TestCreate:
+    def test_create_returns_working_binding(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        assert isinstance(binding, Binding)
+        assert system.call(binding.loid, "Increment", 3) == 3
+
+    def test_instance_loids_carry_class_id(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        assert binding.loid.class_id == cls.loid.class_id
+        assert not binding.loid.is_class
+
+    def test_create_without_factory_rejected(self, legion):
+        system, _cls = legion
+        bare = system.create_class("NoImplClass")
+        with pytest.raises(errors.ObjectModelError):
+            system.call(bare.loid, "Create", {})
+
+    def test_create_with_init_hints(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {"init": {"start": 100}})
+        assert system.call(binding.loid, "Get") == 100
+
+    def test_magistrate_hint_respected(self, legion):
+        system, cls = legion
+        magistrate = system.magistrates[system.sites[1].name].loid
+        binding = system.call(cls.loid, "Create", {"magistrate": magistrate})
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        assert row.current_magistrates == [magistrate]
+
+    def test_bad_magistrate_hint_rejected(self, legion):
+        system, cls = legion
+        # Restrict candidates, then hint an outsider.
+        restricted = system.create_class(
+            "Restricted",
+            instance_factory="app.Counter",
+            candidate_magistrates=[system.magistrates[system.sites[0].name].loid],
+        )
+        outsider = system.magistrates[system.sites[1].name].loid
+        with pytest.raises(errors.SchedulingError):
+            system.call(restricted.loid, "Create", {"magistrate": outsider})
+
+
+class TestGetBinding:
+    def test_active_object_resolves_from_table(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        again = system.call(cls.loid, "GetBinding", binding.loid)
+        assert again.address == binding.address
+
+    def test_unknown_object_rejected(self, legion):
+        system, cls = legion
+        from repro.naming.loid import LOID
+
+        ghost = LOID.for_instance(cls.loid.class_id, 999999, system.services.secret)
+        with pytest.raises(errors.UnknownObject):
+            system.call(cls.loid, "GetBinding", ghost)
+
+    def test_deleted_object_reports_deletion(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        system.call(cls.loid, "Delete", binding.loid)
+        with pytest.raises(errors.ObjectDeleted):
+            system.call(cls.loid, "GetBinding", binding.loid)
+
+    def test_inert_object_activated_on_get_binding(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        system.call(binding.loid, "Increment", 7)
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        system.call(row.current_magistrates[0], "Deactivate", binding.loid)
+        fresh = system.call(cls.loid, "GetBinding", binding.loid)
+        assert fresh.address != binding.address or True  # address may differ
+        assert system.call(binding.loid, "Get") == 7  # state survived
+
+
+class TestDelete:
+    def test_delete_is_idempotent(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        system.call(cls.loid, "Delete", binding.loid)
+        system.call(cls.loid, "Delete", binding.loid)
+
+    def test_delete_removes_active_process(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        system.call(cls.loid, "Delete", binding.loid)
+        with pytest.raises(errors.LegionError):
+            system.call(binding.loid, "Ping")
+
+    def test_delete_never_created_rejected(self, legion):
+        system, cls = legion
+        from repro.naming.loid import LOID
+
+        ghost = LOID.for_instance(cls.loid.class_id, 888888, system.services.secret)
+        with pytest.raises(errors.UnknownObject):
+            system.call(cls.loid, "Delete", ghost)
+
+
+class TestReflectiveHooks:
+    def test_set_scheduling_agent_field(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        agent_loid = system.agents[system.sites[0].name].loid
+        system.call(cls.loid, "SetSchedulingAgent", binding.loid, agent_loid)
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        assert row.scheduling_agent == agent_loid
+
+    def test_set_candidate_magistrates_field(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        only = [system.magistrates[system.sites[0].name].loid]
+        system.call(cls.loid, "SetCandidateMagistrates", binding.loid, only)
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        assert row.candidate_magistrates == only
+
+
+class TestMetaclass:
+    def test_class_ids_unique_and_monotone(self, legion):
+        system, _cls = legion
+        legion_class = system.core.legion_class
+        a = legion_class.allocate_class_id(system.core.loid("LegionObject"), "A")
+        b = legion_class.allocate_class_id(system.core.loid("LegionObject"), "B")
+        assert b == a + 1
+        assert legion_class.class_names[a] == "A"
+
+    def test_responsibility_pairs_recorded_on_derive(self, legion):
+        system, cls = legion
+        sub = system.call(cls.loid, "Derive", "RespSub", {})
+        legion_class = system.core.legion_class
+        assert legion_class.responsible_for[sub.loid.class_id] == cls.loid
+
+    def test_locate_responsible_for_instances_is_field_surgery(self, legion):
+        system, cls = legion
+        binding = system.call(cls.loid, "Create", {})
+        legion_class_loid = system.core.loid("LegionClass")
+        responsible = system.call(
+            legion_class_loid, "LocateResponsible", binding.loid
+        )
+        assert responsible.identity == cls.loid.identity
+
+    def test_locate_responsible_for_core_is_self(self, legion):
+        system, _cls = legion
+        legion_class_loid = system.core.loid("LegionClass")
+        responsible = system.call(
+            legion_class_loid, "LocateResponsible", system.core.loid("LegionHost")
+        )
+        assert responsible == legion_class_loid
+
+    def test_locate_unknown_class_rejected(self, legion):
+        system, _cls = legion
+        from repro.naming.loid import LOID
+
+        ghost = LOID.for_class(999999, system.services.secret)
+        with pytest.raises(errors.UnknownObject):
+            system.call(system.core.loid("LegionClass"), "LocateResponsible", ghost)
+
+    def test_get_core_binding(self, legion):
+        system, _cls = legion
+        binding = system.call(
+            system.core.loid("LegionClass"),
+            "GetCoreBinding",
+            system.core.loid("LegionMagistrate"),
+        )
+        assert binding.loid == system.core.loid("LegionMagistrate")

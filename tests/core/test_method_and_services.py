@@ -1,0 +1,146 @@
+"""Unit tests for invocation envelopes and the services substrate."""
+
+import pytest
+
+from repro import errors
+from repro.core.context import ImplRegistry, SystemServices
+from repro.core.method import (
+    InvocationContext,
+    MethodInvocation,
+    MethodResult,
+)
+from repro.naming.loid import LOID
+from repro.net.message import Message, MessageKind
+from repro.security.environment import CallEnvironment
+
+
+def loid(n=1):
+    return LOID.for_instance(20, n)
+
+
+class TestMethodResult:
+    def test_success_unwrap(self):
+        assert MethodResult.success(42).unwrap() == 42
+        assert MethodResult.success().unwrap() is None
+
+    def test_known_error_types_reconstruct(self):
+        cases = [
+            (errors.MethodNotFound("m"), errors.MethodNotFound),
+            (errors.SecurityDenied("s"), errors.SecurityDenied),
+            (errors.RequestRefused("r"), errors.RequestRefused),
+            (errors.ObjectDeleted("d"), errors.ObjectDeleted),
+            (errors.NoCapacity("c"), errors.NoCapacity),
+            (errors.AbstractClassError("a"), errors.AbstractClassError),
+            (errors.SchedulingError("x"), errors.SchedulingError),
+            (errors.ObjectModelError("o"), errors.ObjectModelError),
+        ]
+        for original, expected_type in cases:
+            result = MethodResult.failure(original)
+            assert not result.ok
+            with pytest.raises(expected_type):
+                result.unwrap()
+
+    def test_unknown_error_becomes_invocation_failed(self):
+        result = MethodResult.failure(ZeroDivisionError("1/0"))
+        with pytest.raises(errors.InvocationFailed) as excinfo:
+            result.unwrap()
+        assert excinfo.value.remote_type == "ZeroDivisionError"
+        assert "1/0" in str(excinfo.value)
+
+
+class TestInvocation:
+    def test_arity(self):
+        env = CallEnvironment.originating(loid())
+        inv = MethodInvocation(target=loid(2), method="F", args=(1, 2), env=env)
+        assert inv.arity == 2
+
+    def test_context_nested_env(self):
+        env = CallEnvironment.originating(loid(1))
+        ctx = InvocationContext(env=env, target=loid(2), method="F")
+        nested = ctx.nested_env(loid(2))
+        assert nested.responsible_agent == loid(1)
+        assert nested.calling_agent == loid(2)
+
+
+class TestMessages:
+    def element(self, host=1, port=1024):
+        from repro.net.address import ObjectAddressElement
+
+        return ObjectAddressElement.sim(host, port)
+
+    def test_request_reply_correlation(self):
+        request = Message.request(self.element(1), self.element(2), "payload")
+        reply = request.reply_with("answer")
+        assert reply.kind is MessageKind.REPLY
+        assert reply.correlation_id == request.correlation_id
+        assert reply.source == request.destination
+        assert reply.destination == request.source
+
+    def test_failure_notice(self):
+        request = Message.request(self.element(1), self.element(2), "p")
+        notice = request.failure_notice("gone")
+        assert notice.kind is MessageKind.DELIVERY_FAILURE
+        assert notice.correlation_id == request.correlation_id
+        assert notice.destination == request.source
+
+    def test_distinct_correlation_ids(self):
+        a = Message.request(self.element(1), self.element(2), "x")
+        b = Message.request(self.element(1), self.element(2), "y")
+        assert a.correlation_id != b.correlation_id
+
+    def test_event_has_no_reply_expectation(self):
+        event = Message.event(self.element(1), self.element(2), ("gossip",))
+        assert event.kind is MessageKind.EVENT
+
+
+class TestImplRegistry:
+    def test_register_create(self):
+        registry = ImplRegistry()
+        registry.register("thing", lambda x=1: ("made", x))
+        assert registry.create("thing") == ("made", 1)
+        assert registry.create("thing", x=5) == ("made", 5)
+        assert "thing" in registry
+        assert registry.get("thing") is not None
+        assert registry.get("missing") is None
+
+    def test_duplicate_needs_replace(self):
+        registry = ImplRegistry()
+        registry.register("thing", lambda: 1)
+        with pytest.raises(errors.BootstrapError):
+            registry.register("thing", lambda: 2)
+        registry.register("thing", lambda: 2, replace=True)
+        assert registry.create("thing") == 2
+
+    def test_unknown_create_rejected(self):
+        with pytest.raises(errors.BootstrapError):
+            ImplRegistry().create("ghost")
+
+    def test_names_sorted(self):
+        registry = ImplRegistry()
+        registry.register("b", lambda: 1)
+        registry.register("a", lambda: 1)
+        assert registry.names() == ["a", "b"]
+
+
+class TestSystemServices:
+    def test_well_known_requires_bootstrap(self, services):
+        with pytest.raises(errors.BootstrapError):
+            services.well_known_loid("LegionClass")
+        services.well_known["LegionClass"] = loid(9)
+        assert services.well_known_loid("LegionClass") == loid(9)
+
+
+class TestSMMPNodes:
+    def test_activations_carry_processor_numbers(self, services):
+        from repro.hosts.host_types import UnixSMMPHostImpl
+        from repro.workloads.apps import CounterImpl
+        from tests.core.conftest import start_object
+        from tests.hosts.test_hosts import make_opr
+
+        host = start_object(services, UnixSMMPHostImpl(host_id=9, processors=4), host=9)
+        services.impls.register("app.counter", CounterImpl, replace=True)
+        addresses = [
+            host.impl.activate(make_opr(services, seq=i + 1)) for i in range(5)
+        ]
+        nodes = [a.primary().node for a in addresses]
+        assert nodes == [0, 1, 2, 3, 0]  # round-robin over processors

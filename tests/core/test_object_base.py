@@ -1,0 +1,94 @@
+"""Unit tests for LegionObjectImpl: exports, mandatory methods, state."""
+
+import pytest
+
+from repro.core.object_base import (
+    LegionObjectImpl,
+    OBJECT_MANDATORY_INTERFACE,
+    legion_method,
+)
+class TestExports:
+    def test_object_mandatory_interface_contents(self):
+        # The paper names MayI, Iam, SaveState, RestoreState among the
+        # object-mandatory member functions (2.1, 2.4, 3.1.1).
+        for name in ("MayI", "Iam", "Ping", "GetInterface", "SaveState", "RestoreState"):
+            assert OBJECT_MANDATORY_INTERFACE.has_method(name), name
+
+    def test_subclass_inherits_and_extends(self):
+        class Thing(LegionObjectImpl):
+            @legion_method("int Get()")
+            def get(self):
+                return 1
+
+        iface = Thing.exported_interface()
+        assert iface.has_method("Get")
+        assert iface.conforms_to(OBJECT_MANDATORY_INTERFACE)
+
+    def test_override_replaces_export(self):
+        class Base(LegionObjectImpl):
+            @legion_method("string Ping()")
+            def ping(self):
+                return "base"
+
+        class Sub(Base):
+            @legion_method("string Ping()")
+            def ping(self):
+                return "sub"
+
+        export = Sub().find_export("Ping", 0)
+        assert export.fn(Sub()) == "sub"
+
+    def test_dispatch_by_arity(self):
+        class Overloaded(LegionObjectImpl):
+            @legion_method("int F(int)")
+            def f1(self, a):
+                return a
+
+            @legion_method("int F(int, int)")
+            def f2(self, a, b):
+                return a + b
+
+        obj = Overloaded()
+        assert obj.find_export("F", 1).fn(obj, 5) == 5
+        assert obj.find_export("F", 2).fn(obj, 5, 6) == 11
+        assert obj.find_export("F", 3) is None
+
+    def test_ctx_detection(self):
+        class WithCtx(LegionObjectImpl):
+            @legion_method("X()")
+            def x(self, *, ctx=None):
+                return ctx
+
+            @legion_method("Y()")
+            def y(self):
+                return None
+
+        assert WithCtx().find_export("X", 0).wants_ctx
+        assert not WithCtx().find_export("Y", 0).wants_ctx
+
+
+class TestState:
+    def test_default_save_restore_roundtrip(self):
+        class Stateful(LegionObjectImpl):
+            def __init__(self):
+                self.a = 1
+                self.b = "x"
+                self.transient = "not saved"
+
+            def persistent_attributes(self):
+                return ["a", "b"]
+
+        source = Stateful()
+        source.a = 42
+        source.b = "hello"
+        blob = source.save_state()
+        target = Stateful()
+        target.restore_state(blob)
+        assert target.a == 42
+        assert target.b == "hello"
+        assert target.transient == "not saved"
+
+    def test_stateless_objects_have_empty_state(self):
+        blob = LegionObjectImpl().save_state()
+        fresh = LegionObjectImpl()
+        fresh.restore_state(blob)  # no-op, no error

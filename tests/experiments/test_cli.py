@@ -1,0 +1,34 @@
+"""The experiment-suite CLI (python -m repro.experiments)."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("e1", "e12", "a1", "a4"):
+            assert name in out.split()
+
+    def test_runner_table_is_complete(self):
+        assert set(RUNNERS) == {f"e{i}" for i in range(1, 13)} | {
+            "a1",
+            "a2",
+            "a3",
+            "a4",
+        }
+
+    def test_subset_run_passes(self, capsys):
+        assert main(["e1", "e12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all claims hold" in out
+        assert "E1" in out and "E12" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["e99"])

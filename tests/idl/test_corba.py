@@ -1,0 +1,110 @@
+"""Tests for the CORBA IDL front-end (the paper's second IDL)."""
+
+import pytest
+
+from repro.errors import InterfaceError
+from repro.idl.corba import parse_corba_interface
+from repro.idl.parser import parse_interface
+
+
+class TestCorbaParsing:
+    def test_basic_operations(self):
+        iface = parse_corba_interface(
+            """
+            interface Counter {
+              long increment(in long amount);
+              long get();
+              void reset();
+            };
+            """
+        )
+        assert iface.name == "Counter"
+        inc = iface.find("increment", 1)
+        assert inc.returns == "int"
+        assert inc.parameters[0].type_name == "int"
+        assert iface.find("reset", 0).returns is None
+
+    def test_type_normalisation(self):
+        iface = parse_corba_interface(
+            """
+            interface Types {
+              double ratio(in float x);
+              boolean check(in string name);
+              unsigned long count(in unsigned short n);
+              octet raw(in any blob);
+            };
+            """
+        )
+        assert iface.find("ratio", 1).returns == "float"
+        assert iface.find("check", 1).returns == "bool"
+        count = iface.find("count", 1)
+        assert count.returns == "int"
+        assert count.parameters[0].type_name == "int"
+        assert iface.find("raw", 1).returns == "octet"
+
+    def test_direction_keywords(self):
+        iface = parse_corba_interface(
+            "interface D { void f(in long a, out long b, inout long c); }"
+        )
+        params = iface.find("f", 3).parameters
+        assert params[0].name == "a"
+        assert params[1].name == "out_b"
+        assert params[2].name == "inout_c"
+
+    def test_attributes(self):
+        iface = parse_corba_interface(
+            """
+            interface Attrs {
+              readonly attribute long size;
+              attribute string label;
+            };
+            """
+        )
+        assert iface.find("GetSize", 0).returns == "int"
+        assert iface.find("GetLabel", 0).returns == "string"
+        setter = iface.find("SetLabel", 1)
+        assert setter.returns is None
+        assert not iface.has_method("SetSize")  # readonly
+
+    def test_comments_both_styles(self):
+        iface = parse_corba_interface(
+            """
+            interface C { // line comment
+              /* block
+                 comment */
+              void f();
+            };
+            """
+        )
+        assert iface.has_method("f")
+
+    def test_user_defined_types_pass_through(self):
+        iface = parse_corba_interface(
+            "interface U { binding GetBinding(in LOID target); }"
+        )
+        sig = iface.find("GetBinding", 1)
+        assert sig.returns == "binding"
+        assert sig.parameters[0].type_name == "LOID"
+
+    def test_syntax_errors(self):
+        with pytest.raises(InterfaceError):
+            parse_corba_interface("interface X { void f(in void a); }")
+        with pytest.raises(InterfaceError):
+            parse_corba_interface("interface X { long f(; }")
+        with pytest.raises(InterfaceError):
+            parse_corba_interface("module X {}")
+
+    def test_two_front_ends_one_interface(self):
+        """The paper's point: different IDLs, the same object model."""
+        corba = parse_corba_interface(
+            """
+            interface Store {
+              void put(in string key, in any value);
+              any get(in string key);
+            };
+            """
+        )
+        mpl = parse_interface(
+            "interface Store { put(string key, any value); any get(string key); }"
+        )
+        assert corba.equivalent_to(mpl)

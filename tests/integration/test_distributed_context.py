@@ -1,0 +1,102 @@
+"""The name space as Legion objects: distributed, persistent directories."""
+
+import pytest
+
+from repro import errors
+from repro.naming.context_object import ContextObjectImpl
+
+
+@pytest.fixture
+def namespace(fresh_legion):
+    """A root context plus two site-local sub-contexts, all Legion objects."""
+    system, counter_cls = fresh_legion
+    ctx_cls = system.create_class("ContextObject", factory=ContextObjectImpl)
+    site0, site1 = system.sites[0].name, system.sites[1].name
+    root = system.call(
+        ctx_cls.loid,
+        "Create",
+        {"init": {"name": "/"}, "magistrate": system.magistrates[site0].loid},
+    )
+    home = system.call(
+        ctx_cls.loid,
+        "Create",
+        {"init": {"name": "/home"}, "magistrate": system.magistrates[site1].loid},
+    )
+    system.call(root.loid, "Mount", "home", home.loid)
+    return system, counter_cls, ctx_cls, root, home
+
+
+class TestDistributedContext:
+    def test_cross_object_path_lookup(self, namespace):
+        system, counter_cls, _ctx_cls, root, home = namespace
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(home.loid, "Bind", "alice", target.loid)
+        resolved = system.call(root.loid, "LookupPath", "home/alice")
+        assert resolved == target.loid
+        # End to end: resolve by name, then call the object.
+        assert system.call(resolved, "Increment", 2) == 2
+
+    def test_bind_path_routes_to_the_right_directory(self, namespace):
+        system, counter_cls, _ctx_cls, root, home = namespace
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(root.loid, "BindPath", "home/bob", target.loid)
+        assert system.call(home.loid, "Lookup", "bob") == target.loid
+
+    def test_deep_chain_across_three_objects(self, namespace):
+        system, counter_cls, ctx_cls, root, home = namespace
+        projects = system.call(
+            ctx_cls.loid, "Create", {"init": {"name": "/home/projects"}}
+        )
+        system.call(home.loid, "Mount", "projects", projects.loid)
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(root.loid, "BindPath", "home/projects/legion", target.loid)
+        assert (
+            system.call(root.loid, "LookupPath", "home/projects/legion")
+            == target.loid
+        )
+
+    def test_lookup_through_inert_directory_reactivates_it(self, namespace):
+        system, counter_cls, ctx_cls, root, home = namespace
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(home.loid, "Bind", "alice", target.loid)
+        # Deactivate the /home directory object; the recursive lookup
+        # re-activates it transparently (activate-on-reference).
+        row = system.call(ctx_cls.loid, "GetRow", home.loid)
+        system.call(row.current_magistrates[0], "Deactivate", home.loid)
+        assert (
+            system.call(root.loid, "LookupPath", "home/alice") == target.loid
+        )
+
+    def test_directory_state_survives_migration(self, namespace):
+        system, counter_cls, ctx_cls, root, home = namespace
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(home.loid, "Bind", "alice", target.loid)
+        row = system.call(ctx_cls.loid, "GetRow", home.loid)
+        source = row.current_magistrates[0]
+        dest = [m.loid for m in system.magistrates.values() if m != source][0]
+        if dest == source:
+            dest = [m.loid for m in system.magistrates.values() if m.loid != source][0]
+        system.call(source, "Move", home.loid, dest)
+        assert system.call(root.loid, "LookupPath", "home/alice") == target.loid
+
+    def test_errors(self, namespace):
+        system, counter_cls, _ctx_cls, root, home = namespace
+        with pytest.raises(errors.ContextError):
+            system.call(root.loid, "LookupPath", "nowhere/at/all")
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(home.loid, "Bind", "leaf", target.loid)
+        with pytest.raises(errors.ContextError):
+            # 'leaf' is not a sub-context; descending through it fails.
+            system.call(root.loid, "LookupPath", "home/leaf/deeper")
+        with pytest.raises(errors.ContextError):
+            system.call(home.loid, "Bind", "leaf", target.loid)  # duplicate
+        with pytest.raises(errors.ContextError):
+            system.call(home.loid, "Unbind", "ghost")
+
+    def test_list_marks_subcontexts(self, namespace):
+        system, counter_cls, _ctx_cls, root, home = namespace
+        target = system.call(counter_cls.loid, "Create", {})
+        system.call(root.loid, "Bind", "motd", target.loid)
+        entries = system.call(root.loid, "List")
+        assert ("home", True) in entries
+        assert ("motd", False) in entries

@@ -1,0 +1,96 @@
+"""Selective inheritance: the paper's component-selection footnote.
+
+"Legion may allow a class to select the components that it wishes to
+inherit from its superclass." (section 2.1, footnote)  Implemented for
+InheritFrom bases: ``InheritFrom(base, only=[names])``.
+"""
+
+import pytest
+
+from repro import errors
+from repro.core.object_base import LegionObjectImpl, legion_method
+
+
+class Toolbox(LegionObjectImpl):
+    """A base offering two tools; inheritors may want only one."""
+
+    @legion_method("string Hammer()")
+    def hammer(self):
+        return "bang"
+
+    @legion_method("string Saw()")
+    def saw(self):
+        return "zzzip"
+
+
+@pytest.fixture
+def toolbox_class(fresh_legion):
+    system, _cls = fresh_legion
+    return system, system.create_class("Toolbox", factory=Toolbox)
+
+
+class TestSelectiveInheritFrom:
+    def test_selected_method_present_others_absent(self, toolbox_class):
+        system, toolbox = toolbox_class
+        chooser = system.create_class("Chooser", instance_factory="app.Counter")
+        system.call(chooser.loid, "InheritFrom", toolbox.loid, ["Hammer"])
+        instance = system.call(chooser.loid, "Create", {})
+        assert system.call(instance.loid, "Hammer") == "bang"
+        with pytest.raises(errors.MethodNotFound):
+            system.call(instance.loid, "Saw")
+
+    def test_interface_reflects_selection(self, toolbox_class):
+        system, toolbox = toolbox_class
+        chooser = system.create_class("Chooser2", instance_factory="app.Counter")
+        system.call(chooser.loid, "InheritFrom", toolbox.loid, ["Saw"])
+        iface = system.call(chooser.loid, "GetInstanceInterface")
+        assert iface.has_method("Saw")
+        assert not iface.has_method("Hammer")
+        instance = system.call(chooser.loid, "Create", {})
+        live = system.call(instance.loid, "GetInterface")
+        assert live.has_method("Saw")
+        assert not live.has_method("Hammer")
+
+    def test_object_mandatory_methods_cannot_be_selected_away(self, toolbox_class):
+        system, toolbox = toolbox_class
+        chooser = system.create_class("Chooser3", instance_factory="app.Counter")
+        system.call(chooser.loid, "InheritFrom", toolbox.loid, ["Hammer"])
+        instance = system.call(chooser.loid, "Create", {})
+        # Mandatory functions still answer even though not in `only`.
+        assert system.call(instance.loid, "Ping") == "pong"
+        assert system.call(instance.loid, "GetInterface").has_method("SaveState")
+
+    def test_unrestricted_inherit_unchanged(self, toolbox_class):
+        system, toolbox = toolbox_class
+        chooser = system.create_class("Chooser4", instance_factory="app.Counter")
+        system.call(chooser.loid, "InheritFrom", toolbox.loid)
+        instance = system.call(chooser.loid, "Create", {})
+        assert system.call(instance.loid, "Hammer") == "bang"
+        assert system.call(instance.loid, "Saw") == "zzzip"
+
+    def test_selection_survives_migration(self, toolbox_class):
+        system, toolbox = toolbox_class
+        chooser = system.create_class("Chooser5", instance_factory="app.Counter")
+        system.call(chooser.loid, "InheritFrom", toolbox.loid, ["Hammer"])
+        instance = system.call(chooser.loid, "Create", {})
+        row = system.call(chooser.loid, "GetRow", instance.loid)
+        source = row.current_magistrates[0]
+        target = [
+            m.loid for m in system.magistrates.values() if m.loid != source
+        ][0]
+        system.call(source, "Move", instance.loid, target)
+        # The exposure filter is part of the OPR's factory chain, so it
+        # survives the state round-trip at the new jurisdiction.
+        assert system.call(instance.loid, "Hammer") == "bang"
+        with pytest.raises(errors.MethodNotFound):
+            system.call(instance.loid, "Saw")
+
+    def test_selection_inherited_by_subclasses(self, toolbox_class):
+        system, toolbox = toolbox_class
+        chooser = system.create_class("Chooser6", instance_factory="app.Counter")
+        system.call(chooser.loid, "InheritFrom", toolbox.loid, ["Hammer"])
+        sub = system.call(chooser.loid, "Derive", "SubChooser", {})
+        instance = system.call(sub.loid, "Create", {})
+        assert system.call(instance.loid, "Hammer") == "bang"
+        with pytest.raises(errors.MethodNotFound):
+            system.call(instance.loid, "Saw")

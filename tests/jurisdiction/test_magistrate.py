@@ -1,0 +1,162 @@
+"""Magistrate behaviour against a live system (section 3.8)."""
+
+import pytest
+
+from repro import errors
+from repro.jurisdiction.magistrate import ObjectState
+
+
+def make_object(system, cls, site=None, **hints):
+    if site is not None:
+        hints["magistrate"] = system.magistrates[site].loid
+    return system.call(cls.loid, "Create", hints)
+
+
+class TestActivation:
+    def test_object_state_transitions(self, legion):
+        system, cls = legion
+        site = system.sites[0].name
+        magistrate = system.magistrates[site].loid
+        binding = make_object(system, cls, site)
+        assert (
+            system.call(magistrate, "GetObjectState", binding.loid)
+            is ObjectState.ACTIVE
+        )
+        system.call(magistrate, "Deactivate", binding.loid)
+        assert (
+            system.call(magistrate, "GetObjectState", binding.loid)
+            is ObjectState.INERT
+        )
+        assert system.jurisdictions[site].vault.holds(binding.loid)
+        system.call(magistrate, "Activate", binding.loid)
+        assert (
+            system.call(magistrate, "GetObjectState", binding.loid)
+            is ObjectState.ACTIVE
+        )
+        assert not system.jurisdictions[site].vault.holds(binding.loid)
+
+    def test_deactivate_idempotent(self, legion):
+        system, cls = legion
+        site = system.sites[0].name
+        magistrate = system.magistrates[site].loid
+        binding = make_object(system, cls, site)
+        system.call(magistrate, "Deactivate", binding.loid)
+        system.call(magistrate, "Deactivate", binding.loid)
+
+    def test_activate_already_active_returns_address(self, legion):
+        system, cls = legion
+        site = system.sites[0].name
+        magistrate = system.magistrates[site].loid
+        binding = make_object(system, cls, site)
+        address = system.call(magistrate, "Activate", binding.loid)
+        assert address == binding.address
+
+    def test_activate_with_host_suggestion(self, legion):
+        system, cls = legion
+        site = system.sites[0].name
+        magistrate = system.magistrates[site].loid
+        host = system.jurisdictions[site].host_objects[1]
+        binding = make_object(system, cls, site)
+        system.call(magistrate, "Deactivate", binding.loid)
+        address = system.call(magistrate, "Activate", binding.loid, host)
+        host_server = [
+            s for s in system.host_servers.values() if s.loid == host
+        ][0]
+        assert address.primary().host == host_server.impl.host_id
+
+    def test_unknown_object_rejected(self, legion):
+        system, cls = legion
+        from repro.naming.loid import LOID
+
+        magistrate = system.magistrates[system.sites[0].name].loid
+        ghost = LOID.for_instance(cls.loid.class_id, 777777, system.services.secret)
+        with pytest.raises(errors.UnknownObject):
+            system.call(magistrate, "Activate", ghost)
+
+    def test_foreign_host_suggestion_refused(self, legion):
+        system, cls = legion
+        site0, site1 = system.sites[0].name, system.sites[1].name
+        magistrate = system.magistrates[site0].loid
+        foreign_host = system.jurisdictions[site1].host_objects[0]
+        binding = make_object(system, cls, site0)
+        system.call(magistrate, "Deactivate", binding.loid)
+        with pytest.raises(errors.RequestRefused):
+            system.call(magistrate, "Activate", binding.loid, foreign_host)
+
+
+class TestMigration:
+    def test_copy_leaves_source_in_charge(self, fresh_legion):
+        system, cls = fresh_legion
+        site0, site1 = system.sites[0].name, system.sites[1].name
+        source = system.magistrates[site0].loid
+        target = system.magistrates[site1].loid
+        binding = make_object(system, cls, site0)
+        system.call(binding.loid, "Increment", 5)
+        system.call(source, "Copy", binding.loid, target)
+        # Both vaults/managements know the object now.
+        assert system.call(source, "GetObjectState", binding.loid) is ObjectState.INERT
+        assert system.call(target, "GetObjectState", binding.loid) is ObjectState.INERT
+        assert system.jurisdictions[site1].vault.holds(binding.loid)
+
+    def test_move_transfers_management_and_state(self, fresh_legion):
+        system, cls = fresh_legion
+        site0, site1 = system.sites[0].name, system.sites[1].name
+        source = system.magistrates[site0].loid
+        target = system.magistrates[site1].loid
+        binding = make_object(system, cls, site0)
+        system.call(binding.loid, "Increment", 5)
+        system.call(source, "Move", binding.loid, target)
+        with pytest.raises(errors.UnknownObject):
+            system.call(source, "GetObjectState", binding.loid)
+        # Re-reference: activated at the target jurisdiction, state intact.
+        assert system.call(binding.loid, "Get") == 5
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        assert row.current_magistrates == [target]
+
+    def test_move_runs_object_on_target_site_hosts(self, fresh_legion):
+        system, cls = fresh_legion
+        site0, site1 = system.sites[0].name, system.sites[1].name
+        source = system.magistrates[site0].loid
+        target = system.magistrates[site1].loid
+        binding = make_object(system, cls, site0)
+        system.call(source, "Move", binding.loid, target)
+        system.call(binding.loid, "Ping")
+        fresh = system.call(cls.loid, "GetBinding", binding.loid)
+        assert (
+            system.network.latency.site_of(fresh.address.primary().host) == site1
+        )
+
+
+class TestExceptionReporting:
+    def test_crash_report_falls_back_to_management_drop(self, fresh_legion):
+        system, cls = fresh_legion
+        site = system.sites[0].name
+        magistrate_server = system.magistrates[site]
+        magistrate = magistrate_server.loid
+        binding = make_object(system, cls, site)
+        # Find the host server running it and crash the process.
+        for host_server in system.host_servers.values():
+            entry = host_server.impl.processes.find(binding.loid)
+            if entry is not None:
+                host_server.impl.crash_object(binding.loid, "simulated")
+                crashed_host = host_server
+                break
+        fut = system.spawn(crashed_host.impl.reap())
+        reaped = system.kernel.run_until_complete(fut)
+        assert reaped and reaped[0][0] == binding.loid
+        assert magistrate_server.impl.exception_log
+        # No vault OPR existed (object was Active) -> dropped entirely.
+        with pytest.raises(errors.UnknownObject):
+            system.call(magistrate, "GetObjectState", binding.loid)
+
+
+class TestManagedCount:
+    def test_counts_track_creation_and_deletion(self, fresh_legion):
+        system, cls = fresh_legion
+        site = system.sites[0].name
+        magistrate = system.magistrates[site].loid
+        before = system.call(magistrate, "ManagedCount")
+        binding = make_object(system, cls, site)
+        assert system.call(magistrate, "ManagedCount") == before + 1
+        system.call(cls.loid, "Delete", binding.loid)
+        assert system.call(magistrate, "ManagedCount") == before

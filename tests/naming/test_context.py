@@ -1,0 +1,111 @@
+"""Unit tests for Contexts: string names → LOIDs (paper 4.1)."""
+
+import pytest
+
+from repro.errors import ContextError
+from repro.naming.context import Context
+from repro.naming.loid import LOID
+
+
+def loid(n):
+    return LOID.for_instance(50, n)
+
+
+class TestBasicBinding:
+    def test_bind_and_lookup(self):
+        ctx = Context()
+        ctx.bind("alice", loid(1))
+        assert ctx.lookup("alice") == loid(1)
+
+    def test_slashes_normalised(self):
+        ctx = Context()
+        ctx.bind("/a/b/", loid(1))
+        assert ctx.lookup("a/b") == loid(1)
+
+    def test_duplicate_bind_rejected(self):
+        ctx = Context()
+        ctx.bind("x", loid(1))
+        with pytest.raises(ContextError):
+            ctx.bind("x", loid(2))
+
+    def test_replace(self):
+        ctx = Context()
+        ctx.bind("x", loid(1))
+        ctx.bind("x", loid(2), replace=True)
+        assert ctx.lookup("x") == loid(2)
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(ContextError):
+            Context().lookup("nope")
+
+    def test_try_lookup_returns_none(self):
+        assert Context().try_lookup("nope") is None
+
+    def test_unbind(self):
+        ctx = Context()
+        ctx.bind("x", loid(1))
+        assert ctx.unbind("x") == loid(1)
+        with pytest.raises(ContextError):
+            ctx.unbind("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ContextError):
+            Context().bind("///", loid(1))
+
+    def test_relative_components_rejected(self):
+        with pytest.raises(ContextError):
+            Context().bind("a/../b", loid(1))
+
+
+class TestHierarchy:
+    def test_subcontext_routing(self):
+        root = Context("/")
+        home = root.subcontext("home")
+        home.bind("alice", loid(1))
+        assert root.lookup("home/alice") == loid(1)
+
+    def test_deep_nesting(self):
+        root = Context()
+        a = root.subcontext("a")
+        b = a.subcontext("b")
+        b.bind("leaf", loid(5))
+        assert root.lookup("a/b/leaf") == loid(5)
+
+    def test_bind_through_mount(self):
+        root = Context()
+        root.subcontext("site")
+        root.bind("site/thing", loid(3))
+        assert root.lookup("site/thing") == loid(3)
+
+    def test_mount_name_conflicts(self):
+        root = Context()
+        root.bind("x", loid(1))
+        with pytest.raises(ContextError):
+            root.mount("x", Context())
+        root.subcontext("y")
+        with pytest.raises(ContextError):
+            root.bind("y", loid(2))  # 'y' is a sub-context
+
+    def test_list_flattens(self):
+        root = Context()
+        root.bind("a", loid(1))
+        sub = root.subcontext("s")
+        sub.bind("b", loid(2))
+        assert root.list() == ["a", "s/b"]
+
+    def test_list_with_prefix(self):
+        root = Context()
+        sub = root.subcontext("s")
+        sub.bind("b", loid(2))
+        assert root.list("s") == ["s/b"]
+        with pytest.raises(ContextError):
+            root.list("nothere")
+
+    def test_len_and_contains(self):
+        root = Context()
+        root.bind("a", loid(1))
+        sub = root.subcontext("s")
+        sub.bind("b", loid(2))
+        assert len(root) == 2
+        assert "s/b" in root
+        assert "s/c" not in root

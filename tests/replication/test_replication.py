@@ -1,0 +1,138 @@
+"""Replication tests (paper 4.3, Fig. 1)."""
+
+import pytest
+
+from repro import errors
+from repro.net.address import AddressSemantic
+from repro.replication.manager import probe_replicas, repair_replica_group
+
+
+def kill_one_replica(system, loid):
+    for host_server in system.host_servers.values():
+        entry = host_server.impl.processes.find(loid)
+        if entry is not None and not entry.crashed:
+            host_server.impl.crash_object(loid)
+            return entry.server.element
+    raise AssertionError("no live replica found")
+
+
+class TestCreateReplicated:
+    def test_single_loid_many_addresses(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "first", 1)
+        assert len(binding.address) == 3
+        assert binding.address.semantic is AddressSemantic.FIRST
+        hosts = {e.host for e in binding.address.elements}
+        assert len(hosts) == 3  # distinct processes on distinct hosts
+
+    def test_invalid_count_rejected(self, fresh_legion):
+        system, cls = fresh_legion
+        with pytest.raises(errors.ObjectModelError):
+            system.call(cls.loid, "CreateReplicated", 0, "first", 1)
+
+    def test_table_row_holds_group_address(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 2, "all", 1)
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        assert row.object_address == binding.address
+
+    def test_any_random_spreads_calls(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "any-random", 1)
+        # 30 increments land *somewhere*; total across replicas is 30.
+        for _ in range(30):
+            system.call(binding.loid, "Increment", 1)
+        totals = []
+        for host_server in system.host_servers.values():
+            entry = host_server.impl.processes.find(binding.loid)
+            if entry is not None:
+                totals.append(entry.server.impl.value)
+        assert sum(totals) == 30
+        assert len([t for t in totals if t > 0]) >= 2  # spread, not pinned
+
+    def test_delete_kills_every_replica(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "first", 1)
+        system.call(cls.loid, "Delete", binding.loid)
+        for host_server in system.host_servers.values():
+            assert host_server.impl.processes.find(binding.loid) is None
+
+
+class TestFailureMasking:
+    def test_first_masks_dead_head(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "first", 1)
+        kill_one_replica(system, binding.loid)
+        assert system.call(binding.loid, "Ping") == "pong"
+
+    def test_k_of_n_boundary(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "k-of-n", 2)
+        kill_one_replica(system, binding.loid)
+        values = system.call(binding.loid, "Increment", 1)
+        assert len(values) == 2
+        kill_one_replica(system, binding.loid)
+        with pytest.raises(errors.LegionError):
+            system.call(binding.loid, "Increment", 1)
+
+
+class TestLifecycleGuards:
+    def test_replica_group_cannot_be_deactivated(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 2, "first", 1)
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        magistrate = row.current_magistrates[0]
+        with pytest.raises(errors.LifecycleError):
+            system.call(magistrate, "Deactivate", binding.loid)
+        # The group still answers after the refused operation.
+        assert system.call(binding.loid, "Ping") == "pong"
+
+    def test_replica_group_cannot_be_moved(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 2, "first", 1)
+        row = system.call(cls.loid, "GetRow", binding.loid)
+        source = row.current_magistrates[0]
+        target = [
+            m.loid for m in system.magistrates.values() if m.loid != source
+        ][0]
+        with pytest.raises(errors.LifecycleError):
+            system.call(source, "Move", binding.loid, target)
+
+
+class TestMaintenance:
+    def test_probe_classifies(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "all", 1)
+        dead_element = kill_one_replica(system, binding.loid)
+        fut = system.spawn(probe_replicas(system.console.runtime, binding))
+        status = system.kernel.run_until_complete(fut)
+        assert status.total == 3
+        assert status.availability == pytest.approx(2 / 3)
+        assert dead_element in status.dead
+
+    def test_repair_shrinks_group_and_restores_service(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "all", 1)
+        kill_one_replica(system, binding.loid)
+        fut = system.spawn(
+            repair_replica_group(system.console.runtime, binding, cls.loid)
+        )
+        repaired = system.kernel.run_until_complete(fut)
+        assert len(repaired.address) == 2
+        assert isinstance(system.call(binding.loid, "Increment", 1), list)
+
+    def test_report_last_dead_replica_is_binding_not_found(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 1, "first", 1)
+        element = binding.address.primary()
+        with pytest.raises(errors.BindingNotFound):
+            system.call(cls.loid, "ReportDeadReplica", binding.loid, element)
+
+    def test_healthy_repair_is_identity(self, fresh_legion):
+        system, cls = fresh_legion
+        binding = system.call(cls.loid, "CreateReplicated", 3, "all", 1)
+        fut = system.spawn(
+            repair_replica_group(system.console.runtime, binding, cls.loid)
+        )
+        repaired = system.kernel.run_until_complete(fut)
+        assert len(repaired.address) == 3

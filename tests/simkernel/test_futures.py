@@ -1,0 +1,149 @@
+"""Unit tests for SimFuture and its combinators."""
+
+import pytest
+
+from repro.errors import FutureError
+from repro.simkernel.futures import (
+    SimFuture,
+    any_of,
+    completed,
+    failed,
+    gather,
+    k_of,
+)
+
+
+class TestSimFuture:
+    def test_pending_result_raises(self):
+        fut = SimFuture("x")
+        assert not fut.done()
+        with pytest.raises(FutureError):
+            fut.result()
+
+    def test_set_result(self):
+        fut = SimFuture()
+        fut.set_result(42)
+        assert fut.done()
+        assert not fut.failed()
+        assert fut.result() == 42
+
+    def test_set_exception_reraises(self):
+        fut = SimFuture()
+        fut.set_exception(ValueError("boom"))
+        assert fut.done()
+        assert fut.failed()
+        with pytest.raises(ValueError, match="boom"):
+            fut.result()
+
+    def test_double_resolution_rejected(self):
+        fut = SimFuture()
+        fut.set_result(1)
+        with pytest.raises(FutureError):
+            fut.set_result(2)
+        with pytest.raises(FutureError):
+            fut.set_exception(ValueError())
+
+    def test_set_exception_requires_exception(self):
+        fut = SimFuture()
+        with pytest.raises(FutureError):
+            fut.set_exception("not an exception")  # type: ignore[arg-type]
+
+    def test_callback_after_resolution_runs_immediately(self):
+        fut = completed(5)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == [5]
+
+    def test_callbacks_run_in_registration_order(self):
+        fut = SimFuture()
+        order = []
+        fut.add_done_callback(lambda f: order.append("a"))
+        fut.add_done_callback(lambda f: order.append("b"))
+        fut.set_result(None)
+        assert order == ["a", "b"]
+
+    def test_then_chains_value(self):
+        out = completed(3).then(lambda v: v * 2)
+        assert out.result() == 6
+
+    def test_then_propagates_failure(self):
+        out = failed(KeyError("k")).then(lambda v: v)
+        assert out.failed()
+        assert isinstance(out.exception(), KeyError)
+
+    def test_then_captures_mapper_exception(self):
+        out = completed(1).then(lambda v: 1 / 0)
+        assert out.failed()
+        assert isinstance(out.exception(), ZeroDivisionError)
+
+
+class TestGather:
+    def test_empty(self):
+        assert gather([]).result() == []
+
+    def test_order_preserved_regardless_of_resolution_order(self):
+        futs = [SimFuture(str(i)) for i in range(3)]
+        out = gather(futs)
+        futs[2].set_result("c")
+        futs[0].set_result("a")
+        futs[1].set_result("b")
+        assert out.result() == ["a", "b", "c"]
+
+    def test_first_failure_fails_gather(self):
+        futs = [SimFuture(), SimFuture()]
+        out = gather(futs)
+        futs[1].set_exception(RuntimeError("dead"))
+        assert out.failed()
+        futs[0].set_result(1)  # late success is ignored
+        with pytest.raises(RuntimeError):
+            out.result()
+
+
+class TestAnyOf:
+    def test_first_success_wins(self):
+        futs = [SimFuture(), SimFuture(), SimFuture()]
+        out = any_of(futs)
+        futs[1].set_result("won")
+        assert out.result() == (1, "won")
+
+    def test_failures_tolerated_until_success(self):
+        futs = [SimFuture(), SimFuture()]
+        out = any_of(futs)
+        futs[0].set_exception(IOError("a"))
+        assert not out.done()
+        futs[1].set_result("ok")
+        assert out.result() == (1, "ok")
+
+    def test_all_failures_fail(self):
+        futs = [SimFuture(), SimFuture()]
+        out = any_of(futs)
+        futs[0].set_exception(IOError("a"))
+        futs[1].set_exception(IOError("b"))
+        assert out.failed()
+
+    def test_empty_fails(self):
+        assert any_of([]).failed()
+
+
+class TestKOf:
+    def test_k_successes_resolve(self):
+        futs = [SimFuture() for _ in range(4)]
+        out = k_of(futs, 2)
+        futs[3].set_result("d")
+        assert not out.done()
+        futs[0].set_result("a")
+        assert out.result() == [(3, "d"), (0, "a")]
+
+    def test_too_many_failures_fail(self):
+        futs = [SimFuture() for _ in range(3)]
+        out = k_of(futs, 2)
+        futs[0].set_exception(IOError())
+        assert not out.done()
+        futs[1].set_exception(IOError())
+        assert out.failed()
+
+    def test_k_zero_trivially_done(self):
+        assert k_of([SimFuture()], 0).result() == []
+
+    def test_k_exceeding_inputs_fails_immediately(self):
+        assert k_of([SimFuture()], 2).failed()

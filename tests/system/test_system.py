@@ -1,0 +1,152 @@
+"""Tests for bootstrap (4.2.1) and the LegionSystem facade."""
+
+import pytest
+
+from repro import errors
+from repro.core.class_types import ClassFlavor
+from repro.core.context import SystemServices
+from repro.core.relations import RelationGraph
+from repro.metrics.counters import MetricsRegistry
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.simkernel.kernel import SimKernel
+from repro.simkernel.rng import RngStreams
+from repro.system.bootstrap import CORE_CLASS_SPECS, bootstrap_core
+from repro.system.legion import LegionSystem, SiteSpec
+from repro.workloads.apps import CounterImpl, KVStoreImpl
+
+
+def bare_services():
+    kernel = SimKernel()
+    rng = RngStreams(3)
+    return SystemServices(
+        kernel=kernel,
+        network=Network(kernel, LatencyModel.uniform(1.0), rng=rng.stream("n")),
+        rng=rng,
+        metrics=MetricsRegistry(),
+        relations=RelationGraph(),
+    )
+
+
+class TestBootstrapCore:
+    def test_all_six_cores_started(self):
+        services = bare_services()
+        core = bootstrap_core(services, core_host=1)
+        assert set(core.servers) == set(CORE_CLASS_SPECS)
+        for role in CORE_CLASS_SPECS:
+            assert services.well_known[role] == core.loid(role)
+            assert services.network.is_registered(
+                core.servers[role].element
+            )
+
+    def test_second_bootstrap_rejected(self):
+        services = bare_services()
+        bootstrap_core(services, core_host=1)
+        with pytest.raises(errors.BootstrapError):
+            bootstrap_core(services, core_host=1)
+
+    def test_fig7_relations_recorded(self):
+        services = bare_services()
+        core = bootstrap_core(services, core_host=1)
+        relations = services.relations
+        legion_object = core.loid("LegionObject")
+        assert relations.superclass_of(core.loid("LegionClass")) == legion_object
+        assert relations.superclass_of(core.loid("LegionHost")) == legion_object
+        assert relations.sinks() == [legion_object]
+
+    def test_core_flavors(self):
+        services = bare_services()
+        core = bootstrap_core(services, core_host=1)
+        assert core["LegionObject"].impl.flavor & ClassFlavor.ABSTRACT
+        assert core["LegionHost"].impl.flavor & ClassFlavor.ABSTRACT
+        assert core["LegionClass"].impl.flavor == ClassFlavor.REGULAR
+
+
+class TestLegionSystemBuild:
+    def test_empty_sites_rejected(self):
+        with pytest.raises(errors.BootstrapError):
+            LegionSystem.build([])
+
+    def test_per_site_inventory(self, legion):
+        system, _cls = legion
+        for spec in system.sites:
+            assert spec.name in system.jurisdictions
+            assert spec.name in system.magistrates
+            assert spec.name in system.agents
+            assert len(system.site_hosts[spec.name]) == spec.hosts
+
+    def test_hosts_assigned_to_sites_in_latency_model(self, legion):
+        system, _cls = legion
+        for spec in system.sites:
+            for host_id in system.site_hosts[spec.name]:
+                assert system.network.latency.site_of(host_id) == spec.name
+
+    def test_fig8_host_classes_exist(self, legion):
+        system, _cls = legion
+        relations = system.services.relations
+        unix = system.standard_classes["UnixHost"].loid
+        smmp = system.standard_classes["UnixSMMP"].loid
+        assert relations.superclass_of(unix) == system.core.loid("LegionHost")
+        assert relations.superclass_of(smmp) == unix
+
+    def test_spmd_site_runs_spmd_hosts(self):
+        system = LegionSystem.build(
+            [SiteSpec("hpc", hosts=1, host_type="cm-5")], seed=3
+        )
+        host = list(system.host_servers.values())[0]
+        assert host.impl.platform == "cm-5"
+
+    def test_mixed_host_types(self):
+        system = LegionSystem.build(
+            [
+                SiteSpec("ws", hosts=1, host_type="unix"),
+                SiteSpec("big", hosts=1, host_type="unix-smmp"),
+                SiteSpec("hpc", hosts=1, host_type="cray-t3d"),
+            ],
+            seed=3,
+        )
+        platforms = {s.impl.platform for s in system.host_servers.values()}
+        assert platforms == {"unix", "unix-smmp", "cray-t3d"}
+
+
+class TestFacade:
+    def test_context_names_resolve_in_calls(self, legion):
+        system, cls = legion
+        system.create_instance(cls.loid, context_name="facade/c1")
+        assert system.call("facade/c1", "Ping") == "pong"
+
+    def test_create_class_binds_context_name(self, legion):
+        system, _cls = legion
+        binding = system.create_class("KV", factory=KVStoreImpl)
+        assert system.lookup("classes/KV") == binding.loid
+
+    def test_create_class_from_named_superclass(self, legion):
+        system, _cls = legion
+        system.create_class("Base2", factory=CounterImpl)
+        sub = system.create_class("Sub2", superclass="classes/Base2")
+        relations = system.services.relations
+        assert relations.superclass_of(sub.loid) == system.lookup("classes/Base2")
+
+    def test_new_client_is_not_a_legion_resource(self, legion):
+        system, _cls = legion
+        client = system.new_client("outsider", site=system.sites[1].name)
+        # Clients never enter the relation graph (no is-a edge).
+        assert client.loid not in system.services.relations
+        # But they can call into Legion.
+        assert system.call(
+            system.core.loid("LegionClass"), "ClassCount", client=client
+        ) > 0
+
+    def test_reset_measurements(self, legion):
+        system, cls = legion
+        system.call(cls.loid, "GetInstanceInterface")
+        system.reset_measurements()
+        assert system.network.stats.messages_sent == 0
+        assert system.services.metrics.components() == []
+
+    def test_binding_ttl_option(self):
+        system = LegionSystem.build(
+            [SiteSpec("a", hosts=2)], seed=5, binding_ttl=500.0
+        )
+        cls = system.create_class("Counter", factory=CounterImpl)
+        assert cls.expires_at != float("inf")
