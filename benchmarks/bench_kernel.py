@@ -1,0 +1,158 @@
+"""Kernel micro-benchmarks: the event-loop paths every experiment leans on.
+
+Three synthetic workloads isolate the simulation kernel's hot paths from
+the Legion layers above it:
+
+* ``timeout_chain``  -- a self-rescheduling callback: pure heap push/pop
+  throughput, no processes involved;
+* ``spawn_wave``     -- process start/finish overhead (spawn, first step,
+  StopIteration, future resolution);
+* ``future_resume``  -- the path a warm ``invoke`` lives on: a process
+  yields a :class:`SimFuture` that a later event resolves, over and over.
+  This is the path the trampoline fast path targets.
+
+Plus one end-to-end workload, ``warm_system_call``, which measures a fully
+warm ``system.call`` (bare request/reply through the simulated network).
+
+Runnable three ways:
+
+* ``pytest benchmarks/bench_kernel.py`` -- pytest-benchmark timings;
+* ``PYTHONPATH=src python benchmarks/bench_kernel.py`` -- a quick table;
+* imported by ``benchmarks/snapshot.py`` for the recorded perf trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.simkernel.futures import SimFuture
+from repro.simkernel.kernel import SimKernel, Timeout
+
+# ---------------------------------------------------------------- workloads
+
+
+def timeout_chain(n: int = 20_000) -> int:
+    """One callback rescheduling itself ``n`` times; returns events run."""
+    kernel = SimKernel()
+    remaining = n
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining:
+            kernel.schedule(1.0, tick)
+
+    kernel.schedule(1.0, tick)
+    kernel.run()
+    return kernel.events_executed
+
+
+def spawn_wave(n: int = 5_000) -> int:
+    """Spawn ``n`` one-timeout processes and drain; returns events run."""
+    kernel = SimKernel()
+
+    def proc():
+        yield Timeout(1.0)
+
+    for _ in range(n):
+        kernel.spawn(proc())
+    kernel.run()
+    return kernel.events_executed
+
+
+def future_resume(n: int = 10_000) -> int:
+    """``n`` resolve→resume cycles through one process; returns events run.
+
+    Each iteration yields a fresh future that a scheduled event resolves --
+    exactly the shape of a request/reply round in the communication layer.
+    """
+    kernel = SimKernel()
+
+    def consumer():
+        for _ in range(n):
+            fut = SimFuture()
+            kernel.schedule(1.0, lambda f=fut: f.set_result(None))
+            yield fut
+
+    kernel.spawn(consumer())
+    kernel.run()
+    return kernel.events_executed
+
+
+def build_warm_system():
+    """A small Legion system with one instance, warmed for bare calls."""
+    from repro.experiments.common import uniform_sites
+    from repro.system.legion import LegionSystem
+    from repro.workloads.apps import CounterImpl
+
+    system = LegionSystem.build(uniform_sites(2, hosts_per_site=2), seed=42)
+    cls = system.create_class("BenchCounter", factory=CounterImpl)
+    instance = system.create_instance(cls.loid, context_name="bench/counter")
+    system.call(instance.loid, "Ping")  # warm every cache on the path
+    return system, instance.loid
+
+
+def warm_system_call(system, loid, n: int = 1) -> None:
+    """``n`` fully-warm Ping calls (each one request/reply round trip)."""
+    for _ in range(n):
+        system.call(loid, "Ping")
+
+
+# ------------------------------------------------------------ pytest hooks
+
+
+def test_timeout_chain(benchmark):
+    events = benchmark(timeout_chain, 5_000)
+    assert events >= 5_000
+
+
+def test_spawn_wave(benchmark):
+    events = benchmark(spawn_wave, 2_000)
+    assert events >= 2_000
+
+
+def test_future_resume(benchmark):
+    events = benchmark(future_resume, 5_000)
+    assert events >= 5_000
+
+
+def test_warm_system_call(benchmark, small_system):
+    system, _cls, instance = small_system
+    system.call(instance.loid, "Ping")
+    benchmark(warm_system_call, system, instance.loid, 1)
+
+
+# ------------------------------------------------------------- standalone
+
+
+def measure(fn, *args, repeat: int = 3):
+    """Best-of-``repeat`` wall time and the workload's return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        value = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def main() -> None:
+    rows = []
+    for name, fn, n in (
+        ("timeout_chain", timeout_chain, 20_000),
+        ("spawn_wave", spawn_wave, 5_000),
+        ("future_resume", future_resume, 10_000),
+    ):
+        wall, events = measure(fn, n)
+        rows.append((name, n, events, n / wall))
+    system, loid = build_warm_system()
+    wall, _ = measure(warm_system_call, system, loid, 200)
+    rows.append(("warm_system_call", 200, "-", 200 / wall))
+
+    print(f"{'workload':<18} {'iters':>8} {'events':>8} {'ops/sec':>12}")
+    for name, n, events, rate in rows:
+        print(f"{name:<18} {n:>8} {events!s:>8} {rate:>12.0f}")
+
+
+if __name__ == "__main__":
+    main()

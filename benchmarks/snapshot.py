@@ -1,0 +1,164 @@
+"""Perf snapshots: record the repo's performance trajectory over PRs.
+
+Measures three layers and writes ``BENCH_<label>.json`` at the repo root:
+
+* **kernel**  -- events/sec on the timeout, spawn, and future-resume paths
+  (the micro-workloads of :mod:`bench_kernel`);
+* **system**  -- end-to-end warm ``system.call`` latency and calls/sec;
+* **sweep**   -- wall time of the quick experiment sweep
+  (``python -m repro.experiments``), optionally parallel via ``--jobs``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot.py --label pr1 --jobs 4
+    PYTHONPATH=src python benchmarks/snapshot.py --label quick --skip-sweep
+
+Compare two snapshots::
+
+    PYTHONPATH=src python benchmarks/snapshot.py --compare BENCH_seed.json BENCH_pr1.json
+
+Snapshots are committed so every future PR has a trajectory to argue
+against; wall-clock numbers are machine-dependent, so compare ratios
+within one machine's series, not absolute numbers across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_kernel  # noqa: E402  (sibling module, not a package)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def snapshot_kernel() -> dict:
+    """Events/sec for each kernel micro-workload (best of 3)."""
+    metrics = {}
+    for name, fn, n in (
+        ("timeout_chain", bench_kernel.timeout_chain, 20_000),
+        ("spawn_wave", bench_kernel.spawn_wave, 5_000),
+        ("future_resume", bench_kernel.future_resume, 10_000),
+    ):
+        wall, events = bench_kernel.measure(fn, n)
+        metrics[name] = {
+            "iters": n,
+            "events": events,
+            "ops_per_sec": round(n / wall, 1),
+            "wall_s": round(wall, 6),
+        }
+    return metrics
+
+
+def snapshot_system_call(n: int = 300) -> dict:
+    """Warm end-to-end call throughput (one request/reply per call)."""
+    system, loid = bench_kernel.build_warm_system()
+    wall, _ = bench_kernel.measure(bench_kernel.warm_system_call, system, loid, n)
+    return {
+        "calls": n,
+        "calls_per_sec": round(n / wall, 1),
+        "wall_ms_per_call": round(1000.0 * wall / n, 4),
+    }
+
+
+def snapshot_sweep(jobs: int = 1) -> dict:
+    """Wall time of the full quick experiment sweep via the CLI."""
+    cmd = [sys.executable, "-m", "repro.experiments"]
+    if jobs != 1:
+        cmd += ["--jobs", str(jobs)]
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    started = time.perf_counter()
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    wall = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "wall_s": round(wall, 2),
+        "all_passed": proc.returncode == 0,
+    }
+
+
+def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
+    data = {
+        "label": label,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "metrics": {
+            "kernel": snapshot_kernel(),
+            "system_call": snapshot_system_call(),
+        },
+    }
+    if not skip_sweep:
+        data["metrics"]["sweep"] = snapshot_sweep(jobs)
+    return data
+
+
+def compare(path_a: str, path_b: str) -> int:
+    """Print B/A speedup ratios for every shared throughput metric."""
+    with open(path_a) as fh:
+        a = json.load(fh)
+    with open(path_b) as fh:
+        b = json.load(fh)
+    print(f"{'metric':<28} {a['label']:>14} {b['label']:>14} {'speedup':>9}")
+    rows = []
+    for name in a["metrics"]["kernel"]:
+        if name in b["metrics"]["kernel"]:
+            va = a["metrics"]["kernel"][name]["ops_per_sec"]
+            vb = b["metrics"]["kernel"][name]["ops_per_sec"]
+            rows.append((f"kernel.{name}", va, vb))
+    rows.append(
+        (
+            "system_call",
+            a["metrics"]["system_call"]["calls_per_sec"],
+            b["metrics"]["system_call"]["calls_per_sec"],
+        )
+    )
+    for name, va, vb in rows:
+        print(f"{name:<28} {va:>14.0f} {vb:>14.0f} {vb / va:>8.2f}x")
+    sweep_a = a["metrics"].get("sweep")
+    sweep_b = b["metrics"].get("sweep")
+    if sweep_a and sweep_b:
+        print(
+            f"{'sweep wall (s)':<28} {sweep_a['wall_s']:>14.1f} "
+            f"{sweep_b['wall_s']:>14.1f} {sweep_a['wall_s'] / sweep_b['wall_s']:>8.2f}x"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="dev", help="snapshot label (file suffix)")
+    parser.add_argument("--jobs", type=int, default=1, help="sweep parallelism")
+    parser.add_argument("--skip-sweep", action="store_true", help="kernel+call only")
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("A.json", "B.json"), help="diff two snapshots"
+    )
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        return compare(*args.compare)
+
+    data = take_snapshot(args.label, args.jobs, args.skip_sweep)
+    out_path = os.path.join(REPO_ROOT, f"BENCH_{args.label}.json")
+    with open(out_path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(data, indent=2))
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,7 @@ _REMOTE_ERROR_TYPES = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MethodInvocation:
     """One non-blocking method call travelling to a target object."""
 
@@ -63,7 +63,7 @@ class MethodInvocation:
         return f"{self.target}.{self.method}/{self.arity}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MethodResult:
     """The reply to an invocation: a value, or a marshalled error."""
 

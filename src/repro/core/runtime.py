@@ -168,7 +168,10 @@ class LegionRuntime:
         reply arrived in time.
         """
         message = Message.request(self.element, element, invocation)
-        fut = SimFuture(f"{invocation}→{element}")
+        # The name is debugging metadata only; formatting the invocation
+        # eagerly here would dominate the warm-call profile, so keep the
+        # cheap constant part (errors still carry the full invocation).
+        fut = SimFuture(invocation.method)
         self._pending[message.correlation_id] = fut
         self.stats.requests_sent += 1
         deadline = timeout if timeout is not None else self.default_timeout

@@ -5,96 +5,22 @@ Usage::
     python -m repro.experiments                 # all, quick mode
     python -m repro.experiments --full          # full-size sweeps
     python -m repro.experiments e3 e9 a1        # a subset
+    python -m repro.experiments --jobs 4        # parallel sweep
+    python -m repro.experiments --seeds 0 1 2   # one sweep per seed
     python -m repro.experiments --seed 7 --list
 
-Exit status is non-zero if any claim check fails.
+Exit status is non-zero if any claim check fails.  The implementation
+lives in :mod:`repro.experiments.runner`; this module keeps the
+``python -m`` entry point and the historical import surface.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
 
-from repro.experiments import (
-    ablation_caching,
-    ablation_propagation,
-    e1_binding_path,
-    e2_agent_load,
-    e3_combining_tree,
-    e4_class_cloning,
-    e5_lifecycle,
-    e6_stale_bindings,
-    e7_replication,
-    e8_inheritance,
-    e9_scaling,
-    e10_bootstrap,
-    e11_autonomy,
-    e12_loids,
-)
-from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
+from repro.experiments.runner import RUNNERS, main
 
-RUNNERS = {
-    "e1": e1_binding_path.run,
-    "e2": e2_agent_load.run,
-    "e3": e3_combining_tree.run,
-    "e4": e4_class_cloning.run,
-    "e5": e5_lifecycle.run,
-    "e6": e6_stale_bindings.run,
-    "e7": e7_replication.run,
-    "e8": e8_inheritance.run,
-    "e9": e9_scaling.run,
-    "e10": e10_bootstrap.run,
-    "e11": e11_autonomy.run,
-    "e12": e12_loids.run,
-    "a1": ablation_propagation.run,
-    "a2": ablation_caching.run,
-    "a3": run_ttl,
-    "a4": run_locality,
-}
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Reproduce the Legion paper's claims (E1-E12, A1-A4).",
-    )
-    parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
-    parser.add_argument("--full", action="store_true", help="full-size sweeps")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--list", action="store_true", help="list experiment ids")
-    args = parser.parse_args(argv)
-
-    if args.list:
-        for name in RUNNERS:
-            print(name)
-        return 0
-
-    names = [n.lower() for n in (args.names or list(RUNNERS))]
-    unknown = [n for n in names if n not in RUNNERS]
-    if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-
-    all_passed = True
-    summary = []
-    for name in names:
-        started = time.perf_counter()
-        result = RUNNERS[name](quick=not args.full, seed=args.seed)
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print()
-        passed = result.passed
-        all_passed &= passed
-        summary.append((name, result.experiment, passed, elapsed))
-
-    print("=" * 60)
-    for name, experiment, passed, elapsed in summary:
-        status = "PASS" if passed else "FAIL"
-        print(f"  {status}  {experiment:<4} ({name})  {elapsed:6.1f}s")
-    print("=" * 60)
-    print("all claims hold" if all_passed else "SOME CLAIMS FAILED")
-    return 0 if all_passed else 1
-
+__all__ = ["RUNNERS", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -36,6 +36,12 @@ class ExperimentResult:
     recorder: SeriesRecorder
     checks: List[Check] = field(default_factory=list)
     notes: str = ""
+    #: Optional determinism fingerprints (not rendered): the final
+    #: simulated clock and total events executed by the experiment's
+    #: kernel(s).  Two runs with the same (quick, seed) must agree on
+    #: these bit-for-bit -- the determinism regression test relies on it.
+    sim_clock: Optional[float] = None
+    sim_events: Optional[int] = None
 
     def check(self, name: str, passed: bool, detail: str = "") -> None:
         """Record one assertion."""

@@ -103,6 +103,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         "cold walk: client→agent→LegionClass (locate class)→class→reply "
         "chain; inert adds class→magistrate→host activation messages."
     )
+    result.sim_clock = system.kernel.now
+    result.sim_events = system.kernel.events_executed
     return result
 
 

@@ -107,6 +107,8 @@ def _run_config(
         "class_objects": metrics.max_by_kind(ComponentKind.CLASS_OBJECT),
         "agents": metrics.max_by_kind(ComponentKind.BINDING_AGENT),
         "magistrates": metrics.max_by_kind(ComponentKind.MAGISTRATE),
+        "sim_clock": system.kernel.now,
+        "sim_events": float(system.kernel.events_executed),
     }
 
 
@@ -124,9 +126,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         recorder=recorder,
     )
     sweep = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
+    result.sim_clock = 0.0
+    result.sim_events = 0
     for n_sites in sweep:
         mitigated = _run_config(n_sites, mitigated=True, seed=seed, quick=quick)
         strawman = _run_config(n_sites, mitigated=False, seed=seed, quick=quick)
+        result.sim_clock += mitigated["sim_clock"] + strawman["sim_clock"]
+        result.sim_events += int(mitigated["sim_events"] + strawman["sim_events"])
         recorder.add(
             n_sites,
             legion_class=mitigated["legion_class"],

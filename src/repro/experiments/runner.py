@@ -1,0 +1,193 @@
+"""The experiment runner: registry, parallel fan-out, and the CLI.
+
+The full sweep (E1-E12 plus the A1-A4 ablations) is embarrassingly
+parallel: every experiment builds its own :class:`LegionSystem` from a
+seed and shares nothing with the others.  ``run_many`` therefore fans the
+sweep across a :class:`concurrent.futures.ProcessPoolExecutor` when asked
+(``--jobs N``), while keeping the *printed output* byte-identical to the
+sequential run: workers return rendered reports, and the parent prints
+them in submission order.  Simulated-time results are deterministic per
+(experiment, quick, seed) regardless of scheduling, so parallelism is
+purely a wall-clock optimisation.
+
+``python -m repro.experiments`` dispatches here; see :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    ablation_caching,
+    ablation_propagation,
+    e1_binding_path,
+    e2_agent_load,
+    e3_combining_tree,
+    e4_class_cloning,
+    e5_lifecycle,
+    e6_stale_bindings,
+    e7_replication,
+    e8_inheritance,
+    e9_scaling,
+    e10_bootstrap,
+    e11_autonomy,
+    e12_loids,
+)
+from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
+
+RUNNERS = {
+    "e1": e1_binding_path.run,
+    "e2": e2_agent_load.run,
+    "e3": e3_combining_tree.run,
+    "e4": e4_class_cloning.run,
+    "e5": e5_lifecycle.run,
+    "e6": e6_stale_bindings.run,
+    "e7": e7_replication.run,
+    "e8": e8_inheritance.run,
+    "e9": e9_scaling.run,
+    "e10": e10_bootstrap.run,
+    "e11": e11_autonomy.run,
+    "e12": e12_loids.run,
+    "a1": ablation_propagation.run,
+    "a2": ablation_caching.run,
+    "a3": run_ttl,
+    "a4": run_locality,
+}
+
+
+@dataclass
+class RunOutcome:
+    """One experiment run, reduced to picklable primitives.
+
+    Workers in the process pool return these instead of
+    :class:`~repro.experiments.common.ExperimentResult` (whose recorder
+    holds arbitrary objects); the parent only needs the rendered report
+    and the verdict.
+    """
+
+    name: str
+    experiment: str
+    passed: bool
+    report: str
+    elapsed: float
+    seed: int
+
+
+def run_one(name: str, quick: bool, seed: int) -> RunOutcome:
+    """Execute one experiment; never raises (a crash is a failed outcome)."""
+    started = time.perf_counter()
+    try:
+        result = RUNNERS[name](quick=quick, seed=seed)
+        report = result.render()
+        experiment = result.experiment
+        passed = result.passed
+    except Exception:  # noqa: BLE001 - a crashed experiment is a FAIL, not an abort
+        report = f"== {name}: CRASHED ==\n{traceback.format_exc().rstrip()}"
+        experiment = name.upper()
+        passed = False
+    return RunOutcome(
+        name=name,
+        experiment=experiment,
+        passed=passed,
+        report=report,
+        elapsed=time.perf_counter() - started,
+        seed=seed,
+    )
+
+
+def run_many(
+    names: Sequence[str],
+    quick: bool = True,
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+) -> List[RunOutcome]:
+    """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
+
+    ``jobs=1`` runs inline (no pool, no fork) -- this is the reference
+    path whose output the parallel path reproduces byte-for-byte.
+    """
+    tasks = [(name, quick, seed) for seed in seeds for name in names]
+    if jobs <= 1 or len(tasks) <= 1:
+        return [run_one(*task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(run_one, *task) for task in tasks]
+        return [f.result() for f in futures]
+
+
+def render_summary(outcomes: Sequence[RunOutcome], multi_seed: bool) -> str:
+    """The trailing PASS/FAIL table plus the one-line verdict."""
+    lines = ["=" * 60]
+    for o in outcomes:
+        status = "PASS" if o.passed else "FAIL"
+        tag = f"({o.name}, seed {o.seed})" if multi_seed else f"({o.name})"
+        lines.append(f"  {status}  {o.experiment:<4} {tag}  {o.elapsed:6.1f}s")
+    lines.append("=" * 60)
+    all_passed = all(o.passed for o in outcomes)
+    lines.append("all claims hold" if all_passed else "SOME CLAIMS FAILED")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the Legion paper's claims (E1-E12, A1-A4).",
+    )
+    parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true", help="full-size sweeps")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick-size sweeps (the default; explicit for scripts)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        metavar="SEED",
+        help="run the sweep once per seed (overrides --seed)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments in parallel processes (default 1)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.full and args.quick:
+        parser.error("--full and --quick are mutually exclusive")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.list:
+        for name in RUNNERS:
+            print(name)
+        return 0
+
+    names = [n.lower() for n in (args.names or list(RUNNERS))]
+    unknown = [n for n in names if n not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    seeds = args.seeds if args.seeds else [args.seed]
+    outcomes = run_many(names, quick=not args.full, seeds=seeds, jobs=args.jobs)
+
+    for outcome in outcomes:
+        print(outcome.report)
+        print()
+    print(render_summary(outcomes, multi_seed=len(seeds) > 1))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

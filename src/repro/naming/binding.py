@@ -20,7 +20,7 @@ from repro.net.address import ObjectAddress
 NEVER_EXPIRES: float = math.inf
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Binding:
     """An immutable LOID → Object Address binding with an expiry time.
 

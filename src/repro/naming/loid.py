@@ -56,7 +56,7 @@ def derive_public_key(class_id: int, class_specific: int, secret: int = 0) -> in
     return int.from_bytes(digest[: PUBLIC_KEY_BITS // 8], "big") & _KEY_MASK
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class LOID:
     """A Legion Object Identifier.
 

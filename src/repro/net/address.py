@@ -54,7 +54,7 @@ class AddressSemantic(enum.Enum):
     FIRST = "first"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ObjectAddressElement:
     """One physical address: a 32-bit type plus 256 bits of information.
 
@@ -129,7 +129,7 @@ class ObjectAddressElement:
         return f"{t}:{self.host}:{self.port}{suffix}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectAddress:
     """A list of Object Address Elements plus usage semantics (Fig. 14)."""
 

@@ -181,7 +181,7 @@ class Network:
             # A silent drop: the sender only learns via its own timeout.
             return
 
-        self.kernel.schedule(one_way, lambda: self._deliver(message, one_way))
+        self.kernel.post(one_way, self._deliver, message, one_way)
 
     def _deliver(self, message: Message, one_way: float) -> None:
         ep = self._endpoints.get(message.destination)
@@ -203,7 +203,7 @@ class Network:
         src_ep_missing = message.source not in self._endpoints
         if src_ep_missing:
             return  # sender itself is gone; nothing to notify
-        self.kernel.schedule(delay, lambda: self._deliver_notice(notice))
+        self.kernel.post(delay, self._deliver_notice, notice)
 
     def _deliver_notice(self, notice: Message) -> None:
         ep = self._endpoints.get(notice.destination)

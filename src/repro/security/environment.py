@@ -21,7 +21,7 @@ from typing import Optional
 from repro.naming.loid import LOID
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallEnvironment:
     """The security triple carried by every MethodInvocation."""
 

@@ -29,13 +29,17 @@ class SimFuture:
         debugging long binding chains.
     """
 
-    __slots__ = ("_state", "_result", "_exception", "_callbacks", "name")
+    __slots__ = ("_state", "_result", "_exception", "_cb", "_callbacks", "name")
 
     def __init__(self, name: str = "") -> None:
         self._state = _PENDING
         self._result: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["SimFuture"], None]] = []
+        #: The overwhelmingly common case is exactly one waiter, so the
+        #: first callback lives in a plain slot and the overflow list is
+        #: only allocated for the second and later ones.
+        self._cb: Optional[Callable[["SimFuture"], None]] = None
+        self._callbacks: Optional[List[Callable[["SimFuture"], None]]] = None
         self.name = name
 
     # -- inspection ---------------------------------------------------------
@@ -72,7 +76,13 @@ class SimFuture:
             raise FutureError(f"future {self.name or id(self)} already resolved")
         self._state = _DONE
         self._result = value
-        self._run_callbacks()
+        # Inlined single-callback fast path (the warm invoke hot loop).
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
+            cb(self)
+        if self._callbacks:
+            self._run_callbacks()
 
     def set_exception(self, exc: BaseException) -> None:
         """Resolve the future with an exception and run callbacks."""
@@ -82,20 +92,34 @@ class SimFuture:
             raise FutureError(f"set_exception() needs an exception, got {exc!r}")
         self._state = _FAILED
         self._exception = exc
-        self._run_callbacks()
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
+            cb(self)
+        if self._callbacks:
+            self._run_callbacks()
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
             cb(self)
+        if self._callbacks:
+            callbacks, self._callbacks = self._callbacks, None
+            for cb in callbacks:
+                cb(self)
 
     # -- chaining -----------------------------------------------------------
 
     def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
         """Run ``cb(self)`` when resolved (immediately if already done)."""
-        if self.done():
+        if self._state != _PENDING:
             cb(self)
+        elif self._cb is None:
+            self._cb = cb
         else:
+            if self._callbacks is None:
+                self._callbacks = []
             self._callbacks.append(cb)
 
     def then(self, fn: Callable[[Any], Any], name: str = "") -> "SimFuture":

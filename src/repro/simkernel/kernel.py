@@ -15,18 +15,42 @@ returned by :meth:`SimKernel.spawn`.
 
 The loop is strictly deterministic: events at equal times run in schedule
 order (a monotonically increasing sequence number breaks ties).
+
+Hot-path design (the fast path every experiment sweep lives on):
+
+* The heap holds bare tuples ``(time, seq, fn, args)`` -- no per-event
+  object allocation, no comparison ever reaches ``fn`` because ``seq`` is
+  unique.  Cancellation is a side set of sequence numbers checked on pop.
+* Resuming a process from a resolved future does **not** allocate a fresh
+  0-delay event when nothing else is due at the current instant; the
+  resume runs on a bounded FIFO *trampoline* drained after the current
+  event's callback returns.  Because the trampoline runs exactly where the
+  0-delay event would have run (after the current callback, before any
+  strictly-later event, in resolution order), the event *order* -- and
+  therefore every simulated-time result -- is bit-identical to the naive
+  always-schedule kernel.  When another event *is* due at the same instant
+  the kernel falls back to a real event, preserving seq-order fairness.
+  Trampolined resumes still count in :attr:`SimKernel.events_executed`.
+* The trampoline is depth-bounded (:attr:`SimKernel.TRAMPOLINE_LIMIT`):
+  a pathological zero-time resolve/resume loop spills back into the heap
+  as ordinary events so ``max_events`` guards still engage.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import ProcessKilled, SimulationDeadlock, SimulationError
 from repro.simkernel.futures import SimFuture
 
 ProcessGen = Generator[Any, Any, Any]
+
+#: Heap entry: (time, seq, fn, args).  seq is unique, so comparisons never
+#: reach fn/args and the tuple order is a strict total order.
+_Entry = Tuple[float, int, Callable[..., None], Tuple[Any, ...]]
 
 
 @dataclass(frozen=True)
@@ -40,30 +64,29 @@ class Timeout:
             raise SimulationError(f"negative timeout {self.delay}")
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class EventHandle:
     """Returned by :meth:`SimKernel.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_kernel", "_seq", "_time")
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    def __init__(self, kernel: "SimKernel", seq: int, time: float) -> None:
+        self._kernel = kernel
+        self._seq = seq
+        self._time = time
 
     def cancel(self) -> None:
-        """Prevent the event from running (no-op if already run)."""
-        self._event.cancelled = True
+        """Prevent the event from running (no-op if already run).
+
+        Cancelled entries stay in the heap as placeholders and are
+        discarded on pop; the kernel compacts the heap when placeholders
+        outnumber live events (see :meth:`SimKernel._compact`).
+        """
+        self._kernel._cancel(self._seq)
 
     @property
     def time(self) -> float:
         """Simulated time at which the event is (was) due."""
-        return self._event.time
+        return self._time
 
 
 class Process:
@@ -72,7 +95,7 @@ class Process:
     Not constructed directly -- use :meth:`SimKernel.spawn`.
     """
 
-    __slots__ = ("kernel", "gen", "future", "name", "_alive")
+    __slots__ = ("kernel", "gen", "future", "name", "_alive", "_step_cb", "_fut_cb")
 
     def __init__(self, kernel: "SimKernel", gen: ProcessGen, name: str) -> None:
         self.kernel = kernel
@@ -80,6 +103,10 @@ class Process:
         self.future = SimFuture(name or "process")
         self.name = name
         self._alive = True
+        # Bound methods are allocated on every attribute access; the two
+        # below are passed to the scheduler on every step, so bind once.
+        self._step_cb = self._step_send
+        self._fut_cb = self._on_future
 
     @property
     def alive(self) -> bool:
@@ -90,7 +117,7 @@ class Process:
         """Throw :class:`ProcessKilled` into the process at its next step."""
         if not self._alive:
             return
-        self.kernel.schedule(0.0, lambda: self._step_throw(ProcessKilled(reason)))
+        self.kernel.post(0.0, self._step_throw, ProcessKilled(reason))
 
     # -- stepping -----------------------------------------------------------
 
@@ -122,14 +149,14 @@ class Process:
 
     def _handle_yield(self, yielded: Any) -> None:
         if isinstance(yielded, SimFuture):
-            yielded.add_done_callback(self._on_future)
+            yielded.add_done_callback(self._fut_cb)
         elif isinstance(yielded, Timeout):
-            self.kernel.schedule(yielded.delay, lambda: self._step_send(None))
+            self.kernel.post(yielded.delay, self._step_cb, None)
         elif isinstance(yielded, Generator):
             child = self.kernel.spawn(yielded, name=self.name + ".child")
-            child.add_done_callback(self._on_future)
+            child.add_done_callback(self._fut_cb)
         elif yielded is None:
-            self.kernel.schedule(0.0, lambda: self._step_send(None))
+            self.kernel.post(0.0, self._step_cb, None)
         else:
             self._step_throw(
                 SimulationError(
@@ -138,14 +165,16 @@ class Process:
             )
 
     def _on_future(self, fut: SimFuture) -> None:
-        # Resume on a fresh event so resolution code never re-enters the
-        # process synchronously (keeps stack depth bounded & ordering stable).
-        if fut.failed():
-            exc = fut.exception()
+        # Resume via the kernel trampoline: synchronous-ish (no heap event)
+        # when nothing else is due now, but never re-entrant -- the resume
+        # runs only after the currently-executing callback returns, exactly
+        # where the old always-scheduled 0-delay event would have run.
+        if fut._state == "failed":
+            exc = fut._exception
             assert exc is not None
-            self.kernel.schedule(0.0, lambda: self._step_throw(exc))
+            self.kernel._resume(self._step_throw, exc)
         else:
-            self.kernel.schedule(0.0, lambda: self._step_send(fut._result))
+            self.kernel._resume(self._step_cb, fut._result)
 
     def _finish(self, value: Any) -> None:
         self._alive = False
@@ -171,10 +200,23 @@ class SimKernel:
     5.0
     """
 
+    #: Max trampolined resumes drained per event before the remainder is
+    #: spilled back into the heap as ordinary 0-delay events (so runaway
+    #: zero-time loops stay visible to ``max_events`` guards).
+    TRAMPOLINE_LIMIT = 10_000
+
+    #: Compaction kicks in only past this many cancelled placeholders
+    #: (avoids thrashing on tiny queues).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: List[_Event] = []
+        self._queue: List[_Entry] = []
+        #: seqs of cancelled-but-still-queued entries (lazy deletion).
+        self._cancelled: set = set()
+        #: pending synchronous resumes: (fn, arg) pairs, FIFO.
+        self._micro: Deque[Tuple[Callable[[Any], None], Any]] = deque()
         self._processes_spawned = 0
         self._events_executed = 0
 
@@ -187,28 +229,49 @@ class SimKernel:
 
     @property
     def events_executed(self) -> int:
-        """Total events run so far (monotone; useful for budget guards)."""
+        """Total events run so far (monotone; useful for budget guards).
+
+        Trampolined resumes count too, so the number is independent of
+        whether a resume happened to take the fast path.
+        """
         return self._events_executed
 
     @property
     def pending_events(self) -> int:
-        """Events currently queued (including cancelled placeholders)."""
-        return len(self._queue)
+        """Events still due to run (cancelled placeholders excluded)."""
+        live = len(self._queue) - len(self._cancelled)
+        return (live if live > 0 else 0) + len(self._micro)
 
     # -- scheduling ---------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> EventHandle:
-        """Run ``fn()`` after ``delay`` simulated time units."""
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated time units."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        ev = _Event(self._now + delay, self._seq, fn)
-        heapq.heappush(self._queue, ev)
-        return EventHandle(ev)
+        when = self._now + delay
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        return EventHandle(self, self._seq, when)
 
-    def schedule_at(self, when: float, fn: Callable[[], None]) -> EventHandle:
-        """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
-        return self.schedule(when - self._now, fn)
+    def post(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """:meth:`schedule` without the :class:`EventHandle`.
+
+        The handle exists only to support cancellation; hot paths that
+        never cancel (process steps, message delivery) use this to skip
+        the per-event handle allocation.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated time ``when`` (>= now)."""
+        return self.schedule(when - self._now, fn, *args)
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Alias of :meth:`schedule` (kept for callback-style call sites)."""
+        return self.schedule(delay, fn, *args)
 
     def spawn(self, gen: ProcessGen, name: str = "") -> SimFuture:
         """Start ``gen`` as a process; returns a future for its return value.
@@ -224,7 +287,7 @@ class SimKernel:
             )
         self._processes_spawned += 1
         proc = Process(self, gen, name or f"proc-{self._processes_spawned}")
-        self.schedule(0.0, lambda: proc._step_send(None))
+        self.post(0.0, proc._step_cb, None)
         return proc.future
 
     def spawn_process(self, gen: ProcessGen, name: str = "") -> Process:
@@ -235,26 +298,91 @@ class SimKernel:
             )
         self._processes_spawned += 1
         proc = Process(self, gen, name or f"proc-{self._processes_spawned}")
-        self.schedule(0.0, lambda: proc._step_send(None))
+        self.post(0.0, proc._step_cb, None)
         return proc
 
-    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
-        """Convenience: schedule ``fn(*args)``."""
-        return self.schedule(delay, lambda: fn(*args))
+    # -- cancellation -------------------------------------------------------
+
+    def _cancel(self, seq: int) -> None:
+        self._cancelled.add(seq)
+        if (
+            len(self._cancelled) > self.COMPACT_MIN_CANCELLED
+            and len(self._cancelled) * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled placeholders and re-heapify.
+
+        O(n), amortised free: it only runs once cancellations exceed half
+        the queue, and it also sweeps out any stray seqs from handles
+        cancelled after their event already ran.
+
+        Mutates the queue list *in place*: the run loops keep a local
+        alias to it across callbacks, and a compaction triggered inside a
+        callback must not strand them on a stale list.
+        """
+        cancelled = self._cancelled
+        queue = self._queue
+        queue[:] = [e for e in queue if e[1] not in cancelled]
+        heapq.heapify(queue)
+        cancelled.clear()
+
+    # -- trampoline ---------------------------------------------------------
+
+    def _resume(self, fn: Callable[[Any], None], arg: Any) -> None:
+        """Queue a process resume for "as soon as the naive kernel would".
+
+        Fast path: nothing else is due at the current instant, so the
+        resume goes on the FIFO trampoline (drained right after the
+        current callback returns) instead of through the heap.  Slow
+        path: an event *is* due now -- fall back to a real 0-delay event
+        so it keeps its place in seq order.
+        """
+        queue = self._queue
+        if queue and queue[0][0] <= self._now:
+            self.post(0.0, fn, arg)
+        else:
+            self._micro.append((fn, arg))
+
+    def _drain_micro(self) -> None:
+        micro = self._micro
+        budget = self.TRAMPOLINE_LIMIT
+        while micro:
+            if budget == 0:
+                # Pathological zero-time loop: spill the remainder into the
+                # heap (FIFO order is preserved by ascending seqs) so the
+                # outer loop's max_events guard can see it.
+                while micro:
+                    fn, arg = micro.popleft()
+                    self.post(0.0, fn, arg)
+                return
+            fn, arg = micro.popleft()
+            budget -= 1
+            self._events_executed += 1
+            fn(arg)
 
     # -- running ------------------------------------------------------------
 
     def step(self) -> bool:
-        """Run the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
+        """Run the single next unit of work.  False if nothing is pending."""
+        if self._micro:  # resumes queued outside an event (e.g. test code)
+            self._drain_micro()
+            return True
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            time, seq, fn, args = heapq.heappop(queue)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            if ev.time < self._now:  # pragma: no cover - defensive
+            if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue went backwards in time")
-            self._now = ev.time
+            self._now = time
             self._events_executed += 1
-            ev.fn()
+            fn(*args)
+            if self._micro:
+                self._drain_micro()
             return True
         return False
 
@@ -269,20 +397,46 @@ class SimKernel:
         max_events:
             Safety valve for runaway simulations.
         """
+        if until is None and max_events is None:
+            self._run_fast()
+            return
         executed = 0
-        while self._queue:
+        while self._queue or self._micro:
             if max_events is not None and executed >= max_events:
                 raise SimulationError(f"run() exceeded max_events={max_events}")
+            if self._micro:
+                self._drain_micro()
+                executed += 1
+                continue
             nxt = self._peek()
             if nxt is None:
                 break
-            if until is not None and nxt.time > until:
+            if until is not None and nxt[0] > until:
                 self._now = until
                 return
             self.step()
             executed += 1
         if until is not None and self._now < until:
             self._now = until
+
+    def _run_fast(self) -> None:
+        """The unguarded drain loop: same order as step(), fewer frames."""
+        queue = self._queue
+        micro = self._micro
+        cancelled = self._cancelled
+        pop = heapq.heappop
+        while True:
+            if micro:
+                self._drain_micro()  # leaves micro empty (spills go to queue)
+            if not queue:
+                break
+            time, seq, fn, args = pop(queue)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now = time
+            self._events_executed += 1
+            fn(*args)
 
     def run_until_complete(self, fut: SimFuture, max_events: Optional[int] = None) -> Any:
         """Run until ``fut`` resolves; return its result (or raise).
@@ -300,17 +454,20 @@ class SimKernel:
             executed += 1
         return fut.result()
 
-    def _peek(self) -> Optional[_Event]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+    def _peek(self) -> Optional[_Entry]:
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue and queue[0][1] in cancelled:
+            cancelled.discard(queue[0][1])
+            heapq.heappop(queue)
+        return queue[0] if queue else None
 
     # -- helpers ------------------------------------------------------------
 
     def sleep(self, delay: float) -> SimFuture:
         """A future that resolves after ``delay`` (for callback-style code)."""
         fut = SimFuture(f"sleep-{delay}")
-        self.schedule(delay, lambda: fut.set_result(None))
+        self.post(delay, fut.set_result, None)
         return fut
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -409,7 +409,7 @@ class LegionSystem:
         origin = client or self.console
         fut = self.kernel.spawn(
             origin.runtime.invoke(loid, method, *args, timeout=timeout),
-            name=f"call-{loid}.{method}",
+            name="call-" + method,
         )
         return self.kernel.run_until_complete(fut, max_events=max_events)
 

@@ -1,0 +1,72 @@
+"""The parallel experiment runner: fan-out equivalence and CLI plumbing."""
+
+import pytest
+
+from repro.experiments.runner import (
+    RUNNERS,
+    RunOutcome,
+    main,
+    render_summary,
+    run_many,
+    run_one,
+)
+
+
+def test_run_one_returns_primitives():
+    outcome = run_one("e1", quick=True, seed=0)
+    assert outcome.name == "e1"
+    assert outcome.experiment == "E1"
+    assert outcome.passed
+    assert "binding resolution path" in outcome.report
+    assert outcome.elapsed >= 0.0
+    assert outcome.seed == 0
+
+
+def test_parallel_matches_sequential():
+    names = ["e1", "e12"]
+    seq = run_many(names, quick=True, seeds=(0,), jobs=1)
+    par = run_many(names, quick=True, seeds=(0,), jobs=2)
+    assert [o.report for o in par] == [o.report for o in seq]
+    assert [o.passed for o in par] == [o.passed for o in seq]
+    assert [(o.name, o.seed) for o in par] == [("e1", 0), ("e12", 0)]
+
+
+def test_multi_seed_ordering():
+    outcomes = run_many(["e1"], quick=True, seeds=(0, 1), jobs=2)
+    assert [(o.name, o.seed) for o in outcomes] == [("e1", 0), ("e1", 1)]
+
+
+def test_crashed_experiment_is_a_failure(monkeypatch):
+    def boom(quick, seed):
+        raise RuntimeError("injected crash")
+
+    monkeypatch.setitem(RUNNERS, "e1", boom)
+    outcome = run_one("e1", quick=True, seed=0)
+    assert not outcome.passed
+    assert "injected crash" in outcome.report
+
+
+def test_render_summary_verdict():
+    ok = RunOutcome("e1", "E1", True, "", 0.1, 0)
+    bad = RunOutcome("e2", "E2", False, "", 0.2, 0)
+    text = render_summary([ok, bad], multi_seed=False)
+    assert "SOME CLAIMS FAILED" in text
+    assert "PASS  E1" in text and "FAIL  E2" in text
+    assert "all claims hold" in render_summary([ok], multi_seed=False)
+
+
+def test_cli_parallel_quick_subset(capsys):
+    rc = main(["e1", "e12", "--quick", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "all claims hold" in out
+
+
+def test_cli_rejects_full_and_quick():
+    with pytest.raises(SystemExit):
+        main(["--full", "--quick"])
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["--jobs", "0"])

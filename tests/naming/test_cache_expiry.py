@@ -1,0 +1,114 @@
+"""Regression tests for BindingCache TTL honesty and the expiry heap."""
+
+from repro.naming.binding import Binding, NEVER_EXPIRES
+from repro.naming.cache import BindingCache
+from repro.naming.loid import LOID
+from repro.net.address import ObjectAddress, ObjectAddressElement
+
+
+def make_binding(seq=1, host=1, expires=NEVER_EXPIRES):
+    return Binding(
+        LOID.for_instance(7, seq),
+        ObjectAddress.single(ObjectAddressElement.sim(host, 1024)),
+        expires,
+    )
+
+
+class TestContainsRespectsTTL:
+    def test_contains_false_after_expiry_observed(self):
+        """Regression: ``in`` used to report TTL-expired entries present.
+
+        Once the cache has observed a ``now`` past the entry's expiry, no
+        lookup can ever return it again, so membership must be False even
+        though the entry may physically still sit in the store.
+        """
+        cache = BindingCache()
+        binding = make_binding(expires=5.0)
+        cache.insert(binding)
+        assert binding.loid in cache
+        # Advance the cache's observed clock past the expiry via a lookup
+        # of an unrelated key.
+        other = make_binding(seq=2)
+        cache.lookup(other.loid, now=10.0)
+        assert binding.loid not in cache
+
+    def test_contains_true_while_live(self):
+        cache = BindingCache()
+        binding = make_binding(expires=5.0)
+        cache.insert(binding)
+        cache.lookup(binding.loid, now=4.0)
+        assert binding.loid in cache
+
+    def test_contains_never_expiring(self):
+        cache = BindingCache()
+        binding = make_binding()
+        cache.insert(binding)
+        cache.lookup(binding.loid, now=1e12)
+        assert binding.loid in cache
+
+    def test_purge_advances_observed_clock(self):
+        cache = BindingCache()
+        binding = make_binding(expires=5.0)
+        cache.insert(binding)
+        cache.purge_expired(now=6.0)
+        assert binding.loid not in cache
+
+
+class TestExpiryHeap:
+    def test_purge_drops_only_expired(self):
+        cache = BindingCache()
+        early = make_binding(seq=1, expires=5.0)
+        late = make_binding(seq=2, expires=50.0)
+        forever = make_binding(seq=3)
+        for b in (early, late, forever):
+            cache.insert(b)
+        assert cache.purge_expired(now=10.0) == 1
+        assert len(cache) == 2
+        assert early.loid not in cache
+        assert late.loid in cache
+        assert forever.loid in cache
+        assert cache.stats.expired == 1
+
+    def test_stale_heap_entry_does_not_kill_refreshed_binding(self):
+        """A replaced binding's old heap entry must not delete the new one."""
+        cache = BindingCache()
+        old = make_binding(expires=5.0)
+        cache.insert(old)
+        fresh = old.refreshed(old.address, expires_at=100.0)
+        cache.insert(fresh)
+        # The old (expires=5.0) heap entry pops, but the live binding is
+        # still valid, so nothing is dropped.
+        assert cache.purge_expired(now=10.0) == 0
+        assert cache.lookup(fresh.loid, now=10.0) == fresh
+
+    def test_purge_after_invalidate_is_clean(self):
+        cache = BindingCache()
+        binding = make_binding(expires=5.0)
+        cache.insert(binding)
+        assert cache.invalidate(binding.loid)
+        assert cache.purge_expired(now=10.0) == 0
+        assert len(cache) == 0
+
+    def test_never_expiring_entries_stay_out_of_heap(self):
+        cache = BindingCache()
+        for i in range(10):
+            cache.insert(make_binding(seq=i + 1))
+        assert cache._expiry == []
+
+    def test_heap_rebuild_under_replacement_churn(self):
+        """Replacing the same keys many times must not grow the heap O(churn)."""
+        cache = BindingCache()
+        for round_ in range(100):
+            for i in range(5):
+                cache.insert(make_binding(seq=i + 1, expires=float(round_ + 1)))
+        assert len(cache._expiry) <= 2 * len(cache._entries) + 64
+        # The surviving bindings (expires=100.0) are still purged correctly.
+        assert cache.purge_expired(now=100.0) == 5
+        assert len(cache) == 0
+
+    def test_clear_empties_heap(self):
+        cache = BindingCache()
+        cache.insert(make_binding(expires=5.0))
+        cache.clear()
+        assert cache._expiry == []
+        assert cache.purge_expired(now=10.0) == 0
