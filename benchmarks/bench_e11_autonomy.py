@@ -5,7 +5,6 @@ Create() that the target magistrate refuses (policy evaluated, refusal
 marshalled back).
 """
 
-import pytest
 from conftest import assert_and_report
 
 from repro import errors

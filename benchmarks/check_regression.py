@@ -1,0 +1,75 @@
+"""Gate: a fresh perf snapshot must not regress past a committed baseline.
+
+Compares every shared throughput metric (kernel micro-benchmarks +
+warm system-call rate) of two ``BENCH_*.json`` snapshots and exits
+non-zero if any ratio falls below ``1 - tolerance``.  CI runs this with
+tracing *disabled* against the committed baseline, enforcing the
+zero-overhead contract of the causal-tracing subsystem.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        BENCH_pr1.json BENCH_ci.json --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator, Tuple
+
+
+def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
+    """Every (metric name, ops/sec) pair a snapshot carries."""
+    metrics = snapshot["metrics"]
+    for name, payload in metrics.get("kernel", {}).items():
+        yield f"kernel.{name}", float(payload["ops_per_sec"])
+    if "system_call" in metrics:
+        yield "system_call", float(metrics["system_call"]["calls_per_sec"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json to hold the line at")
+    parser.add_argument("candidate", help="freshly measured BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional slowdown per metric (default 0.05 = 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+
+    base = dict(throughputs(baseline))
+    cand = dict(throughputs(candidate))
+    floor = 1.0 - args.tolerance
+    failures = []
+    print(f"{'metric':<28} {'baseline':>14} {'candidate':>14} {'ratio':>8}")
+    for name in base:
+        if name not in cand:
+            continue
+        ratio = cand[name] / base[name] if base[name] else float("inf")
+        flag = "" if ratio >= floor else "  << REGRESSION"
+        print(f"{name:<28} {base[name]:>14.0f} {cand[name]:>14.0f} {ratio:>7.2f}x{flag}")
+        if ratio < floor:
+            failures.append((name, ratio))
+
+    if failures:
+        worst = min(failures, key=lambda kv: kv[1])
+        print(
+            f"\nFAIL: {len(failures)} metric(s) below {floor:.2f}x of "
+            f"{baseline['label']!r} (worst: {worst[0]} at {worst[1]:.2f}x)"
+        )
+        return 1
+    print(f"\nOK: all metrics within {args.tolerance:.0%} of {baseline['label']!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

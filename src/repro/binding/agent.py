@@ -27,12 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import BindingNotFound
 from repro.binding.resolver import resolve_loid
 from repro.core.method import InvocationContext
 from repro.core.object_base import LegionObjectImpl, legion_method
 from repro.naming.binding import Binding
-from repro.naming.loid import LOID
 
 
 @dataclass
@@ -73,6 +71,12 @@ class BindingAgentImpl(LegionObjectImpl):
     # Legion object, exactly as the paper draws it.  The server gives
     # binding agents a large cache via bootstrap configuration.
 
+    def _trace_note(self, ctx: Optional[InvocationContext], **kv) -> None:
+        """Annotate the enclosing dispatch span (how was this query served?)."""
+        tracer = self.services.tracer
+        if tracer is not None and ctx is not None:
+            tracer.annotate(ctx.env.trace, **kv)
+
     @legion_method("binding GetBinding(query)")
     def get_binding(self, query, *, ctx: Optional[InvocationContext] = None):
         """Bind a LOID to an Object Address (or refresh a stale binding)."""
@@ -89,6 +93,7 @@ class BindingAgentImpl(LegionObjectImpl):
         cached = self.runtime.cache.lookup(loid, self.services.kernel.now)
         if cached is not None and (stale is None or cached != stale):
             self.agent_stats.cache_hits += 1
+            self._trace_note(ctx, cache="hit")
             return cached
         if cached is not None and stale is not None and cached == stale:
             self.runtime.cache.invalidate(loid)
@@ -96,6 +101,7 @@ class BindingAgentImpl(LegionObjectImpl):
         env = ctx.nested_env(self.loid) if ctx else self.own_env()
         if self.parent is not None:
             self.agent_stats.parent_escalations += 1
+            self._trace_note(ctx, cache="miss", escalated="parent")
             binding = yield from self.runtime.invoke(
                 self.parent.loid, "GetBinding", query, env=env
             )
@@ -103,6 +109,7 @@ class BindingAgentImpl(LegionObjectImpl):
             return binding
 
         self.agent_stats.class_escalations += 1
+        self._trace_note(ctx, cache="miss", escalated="class")
         binding = yield from resolve_loid(self.runtime, query, env)
         return binding
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import BindingNotFound, UnknownObject
+from repro.errors import BindingNotFound
 from repro.core.runtime import LegionRuntime
 from repro.naming.binding import Binding
 from repro.naming.loid import LOID
@@ -50,6 +50,17 @@ def locate_class_binding(runtime: LegionRuntime, class_loid: LOID, env: CallEnvi
     cached = runtime.lookup_binding(class_loid)
     if cached is not None:
         return cached
+
+    tracer = services.tracer
+    if tracer is not None and tracer.active:
+        # One zero-duration span per rung of the responsibility chain;
+        # the trace shows exactly how deep 4.1.3's recursion went.
+        tracer.instant(
+            "responsibility walk",
+            "resolve",
+            parent=env.trace,
+            target=str(class_loid),
+        )
 
     if class_loid.identity == legion_class.identity:
         # LegionClass's own binding is seeded at activation; if it is
@@ -118,6 +129,9 @@ def resolve_loid(runtime: LegionRuntime, query, env: CallEnvironment):
     # Non-class object: field surgery gives the responsible class.
     class_id, _zero = loid.class_identity()
     responsible = LOID.for_class(class_id, services.secret)
+    tracer = services.tracer
+    if tracer is not None and tracer.active:
+        tracer.annotate(env.trace, responsible=str(responsible))
     yield from locate_class_binding(runtime, responsible, env)
     ask = stale if stale is not None else loid
     binding = yield from runtime.invoke(responsible, "GetBinding", ask, env=env)

@@ -14,7 +14,6 @@ interface node of the hierarchy, like the core LegionHost).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from repro.errors import (
     AbstractClassError,

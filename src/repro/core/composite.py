@@ -19,7 +19,7 @@ Legion object.
 from __future__ import annotations
 
 import pickle
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.core.object_base import LegionObjectImpl, _Export
 from repro.idl.interface import Interface

@@ -100,6 +100,11 @@ class SystemServices:
     default_binding_agent: Any = None
     #: Lazily-imported relation graph (set by bootstrap; avoids import cycle).
     relations: Any = None
+    #: The causal-tracing recorder (:class:`repro.trace.SpanRecorder`), or
+    #: ``None`` when tracing is off.  Every instrumented hot path guards on
+    #: ``tracer is not None and tracer.active`` -- the zero-overhead no-op
+    #: mode -- so installing a recorder is the *only* cost switch.
+    tracer: Any = None
 
     def well_known_loid(self, role: str) -> LOID:
         """The LOID of a core object by role; raises if not bootstrapped."""

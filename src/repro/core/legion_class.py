@@ -48,7 +48,7 @@ from repro.core.object_base import (
 from repro.core.table import LogicalTable, TableRow
 from repro.idl.interface import Interface
 from repro.naming.binding import Binding, NEVER_EXPIRES
-from repro.naming.loid import LOID, derive_public_key
+from repro.naming.loid import LOID
 from repro.persistence.opr import OPRecord
 from repro.security.environment import CallEnvironment
 

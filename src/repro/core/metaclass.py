@@ -22,12 +22,11 @@ request load measured at this object.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import UnknownObject
 from repro.core.class_types import ClassFlavor
 from repro.core.legion_class import ClassObjectImpl
-from repro.core.method import InvocationContext
 from repro.core.object_base import legion_method
 from repro.naming.binding import Binding
 from repro.naming.loid import (

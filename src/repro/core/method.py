@@ -15,8 +15,8 @@ subclass at the caller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Tuple
 
 from repro import errors
 from repro.naming.loid import LOID

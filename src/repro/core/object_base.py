@@ -32,7 +32,6 @@ from __future__ import annotations
 import inspect
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import InterfaceError, LegionError
 from repro.idl.interface import Interface
 from repro.idl.parser import parse_signature
 from repro.idl.signature import MethodSignature

@@ -20,7 +20,7 @@ class objects' logical tables; this graph mirrors it.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 import networkx as nx
 

@@ -22,22 +22,16 @@ inside a simulation process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import (
-    BindingNotFound,
-    DeliveryFailure,
-    InvocationTimeout,
-    LegionError,
-    PartitionedError,
-)
+from repro.errors import BindingNotFound, DeliveryFailure, InvocationTimeout, PartitionedError
 from repro.core.method import MethodInvocation, MethodResult
 from repro.naming.binding import Binding
 from repro.naming.cache import BindingCache
 from repro.naming.loid import LOID
 from repro.net.address import AddressSemantic, ObjectAddress, ObjectAddressElement
-from repro.net.message import Message, MessageKind
+from repro.net.message import Message
 from repro.security.environment import CallEnvironment
 from repro.simkernel.futures import SimFuture, gather, k_of
 from repro.simkernel.kernel import SimKernel
@@ -91,6 +85,13 @@ class LegionRuntime:
         self.default_timeout = default_timeout
         self._pending: Dict[int, SimFuture] = {}
         self._timeout_handles: Dict[int, Any] = {}
+        #: Metrics-style "kind:name" label used on spans this runtime
+        #: records; the owning ObjectServer overwrites it with its
+        #: ComponentId so traces and counters share a vocabulary.
+        self.component_label = str(loid)
+        #: correlation id → open "request" span (only populated while a
+        #: trace is active; stays empty -- one truthiness test -- otherwise).
+        self._request_spans: Dict[int, Any] = {}
         #: Non-evictable well-known bindings (the core objects).  A
         #: transient failure (e.g. a partition) may invalidate the cached
         #: copy, but resolution falls back here, so connectivity loss is
@@ -128,6 +129,8 @@ class LegionRuntime:
         """Route an incoming REPLY to its waiting future."""
         fut = self._pending.pop(message.correlation_id, None)
         self._cancel_timeout(message.correlation_id)
+        if self._request_spans:
+            self._finish_request_span(message.correlation_id, "ok")
         if fut is None or fut.done():
             return  # late reply after timeout; drop
         self.stats.replies_received += 1
@@ -137,6 +140,8 @@ class LegionRuntime:
         """Route a DELIVERY_FAILURE notice to its waiting future."""
         fut = self._pending.pop(message.correlation_id, None)
         self._cancel_timeout(message.correlation_id)
+        if self._request_spans:
+            self._finish_request_span(message.correlation_id, "delivery-failure")
         if fut is None or fut.done():
             return
         reason = str(message.payload)
@@ -152,6 +157,13 @@ class LegionRuntime:
         handle = self._timeout_handles.pop(correlation_id, None)
         if handle is not None:
             handle.cancel()
+
+    def _finish_request_span(self, correlation_id: int, status: str) -> None:
+        span = self._request_spans.pop(correlation_id, None)
+        if span is not None:
+            tracer = self.services.tracer
+            if tracer is not None:
+                tracer.finish(span, status)
 
     # --------------------------------------------------------------- message out
 
@@ -174,6 +186,20 @@ class LegionRuntime:
         fut = SimFuture(invocation.method)
         self._pending[message.correlation_id] = fut
         self.stats.requests_sent += 1
+        tracer = self.services.tracer
+        if tracer is not None and tracer.active:
+            link = self.services.network.latency.classify(
+                self.element.host, element.host
+            )
+            span = tracer.start(
+                "request " + invocation.method,
+                "request",
+                parent=invocation.env.trace,
+                component=self.component_label,
+                link=link.value,
+            )
+            message.trace = span.context
+            self._request_spans[message.correlation_id] = span
         deadline = timeout if timeout is not None else self.default_timeout
         if deadline is not None:
             corr = message.correlation_id
@@ -181,6 +207,8 @@ class LegionRuntime:
             def _expire() -> None:
                 pending = self._pending.pop(corr, None)
                 self._timeout_handles.pop(corr, None)
+                if self._request_spans:
+                    self._finish_request_span(corr, "timeout")
                 if pending is not None and not pending.done():
                     self.stats.timeouts += 1
                     pending.set_exception(
@@ -194,9 +222,28 @@ class LegionRuntime:
         self.services.network.send(message)
         return fut
 
-    def send_event(self, element: ObjectAddressElement, payload: Any) -> None:
-        """Fire-and-forget EVENT (exception reports, invalidation gossip)."""
-        self.services.network.send(Message.event(self.element, element, payload))
+    def send_event(
+        self, element: ObjectAddressElement, payload: Any, trace: Any = None
+    ) -> None:
+        """Fire-and-forget EVENT (exception reports, invalidation gossip).
+
+        ``trace`` optionally parents the event's span (e.g. the dispatch
+        span of the method emitting invalidation gossip).
+        """
+        message = Message.event(self.element, element, payload)
+        tracer = self.services.tracer
+        if tracer is not None and tracer.active:
+            span = tracer.instant(
+                "event",
+                "event",
+                parent=trace,
+                component=self.component_label,
+                link=self.services.network.latency.classify(
+                    self.element.host, element.host
+                ).value,
+            )
+            message.trace = span.context
+        self.services.network.send(message)
 
     # ----------------------------------------------------------------- calls
 
@@ -265,22 +312,48 @@ class LegionRuntime:
 
     # -------------------------------------------------------------- resolution
 
-    def resolve(self, loid: LOID):
+    def resolve(self, loid: LOID, trace: Any = None):
         """Produce a Binding for ``loid``: local cache, then Binding Agent.
 
         This is exactly the start of the paper's section 4.1.2 walk; the
         *agent* performs any deeper search (other agents, the class, the
         magistrate).  Raises :class:`BindingNotFound` when no agent is
-        configured and the cache misses.
+        configured and the cache misses.  ``trace`` optionally parents
+        the resolution's span (the caller's invoke span).
         """
         cached = self.lookup_binding(loid)
+        tracer = self.services.tracer
+        traced = tracer is not None and tracer.active
         if cached is not None:
+            if traced:
+                tracer.instant(
+                    "resolve",
+                    "resolve",
+                    parent=trace,
+                    component=self.component_label,
+                    cache="hit",
+                )
             return cached
-        binding = yield from self._agent_get_binding(loid)
+        span = None
+        if traced:
+            span = tracer.start(
+                "resolve", "resolve", parent=trace, component=self.component_label
+            )
+            span.annotate(cache="miss")
+            trace = span.context
+        try:
+            binding = yield from self._agent_get_binding(loid, trace=trace)
+        except BaseException as exc:
+            if span is not None:
+                span.status = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                tracer.finish(span)
         self.cache.insert(binding)
         return binding
 
-    def _agent_get_binding(self, query):
+    def _agent_get_binding(self, query, trace: Any = None):
         """GetBinding(LOID) or GetBinding(binding) on our Binding Agent."""
         agent = self.binding_agent
         if agent is None:
@@ -295,6 +368,8 @@ class LegionRuntime:
             )
         self.stats.agent_lookups += 1
         env = CallEnvironment.originating(self.loid)
+        if trace is not None:
+            env = env.with_trace(trace)
         binding = yield from self.call_address(
             agent.address, agent.loid, "GetBinding", (query,), env
         )
@@ -327,52 +402,82 @@ class LegionRuntime:
         self.stats.invocations += 1
         if env is None:
             env = CallEnvironment.originating(self.loid)
-        binding = yield from self.resolve(target)
-        last_error: Optional[BaseException] = None
-        for _attempt in range(self.MAX_REFRESH_ATTEMPTS + 1):
-            try:
-                value = yield from self.call_address(
-                    binding.address, target, method, tuple(args), env, timeout
-                )
-                return value
-            except PartitionedError:
-                # The destination's site is unreachable; a refreshed
-                # binding cannot help until the partition heals, and
-                # retrying through intermediaries just multiplies traffic.
-                self.stats.stale_detected += 1
-                raise
-            except DeliveryFailure as exc:
-                # Stale binding (4.1.4): drop it and ask for a refresh,
-                # passing the stale binding so the agent knows not to
-                # hand back its own identical cached copy.
-                self.stats.stale_detected += 1
-                self.cache.invalidate_exact(binding)
-                last_error = exc
-                self.stats.refreshes += 1
+        tracer = self.services.tracer
+        span = None
+        if tracer is not None and tracer.active:
+            # The logical operation's span: roots a fresh trace at a call
+            # chain's origin, or nests under the server dispatch span the
+            # caller's environment carries (ctx.nested_env propagation).
+            span = tracer.start(
+                "invoke " + method,
+                "invoke",
+                parent=env.trace,
+                component=self.component_label,
+            )
+            span.annotate(target=str(target))
+            env = env.with_trace(span.context)
+        try:
+            binding = yield from self.resolve(target, trace=env.trace)
+            last_error: Optional[BaseException] = None
+            for _attempt in range(self.MAX_REFRESH_ATTEMPTS + 1):
                 try:
-                    binding = yield from self._agent_get_binding(binding)
-                    self.cache.insert(binding)
-                except BindingNotFound as missing:
-                    raise missing from exc
-                except DeliveryFailure:
-                    # The refresh leg itself was lost (a lossy network,
-                    # not a stale binding).  Keep the old binding and let
-                    # the retry budget govern: the next attempt may get
-                    # through, and a genuinely dead address will exhaust
-                    # the attempts into BindingNotFound below.
-                    pass
-        raise BindingNotFound(
-            f"could not reach {target} after {self.MAX_REFRESH_ATTEMPTS} refreshes",
-            loid=target,
-        ) from last_error
+                    value = yield from self.call_address(
+                        binding.address, target, method, tuple(args), env, timeout
+                    )
+                    return value
+                except PartitionedError:
+                    # The destination's site is unreachable; a refreshed
+                    # binding cannot help until the partition heals, and
+                    # retrying through intermediaries just multiplies traffic.
+                    self.stats.stale_detected += 1
+                    raise
+                except DeliveryFailure as exc:
+                    # Stale binding (4.1.4): drop it and ask for a refresh,
+                    # passing the stale binding so the agent knows not to
+                    # hand back its own identical cached copy.
+                    self.stats.stale_detected += 1
+                    self.cache.invalidate_exact(binding)
+                    last_error = exc
+                    self.stats.refreshes += 1
+                    try:
+                        binding = yield from self._agent_get_binding(
+                            binding, trace=env.trace
+                        )
+                        self.cache.insert(binding)
+                    except BindingNotFound as missing:
+                        raise missing from exc
+                    except DeliveryFailure:
+                        # The refresh leg itself was lost (a lossy network,
+                        # not a stale binding).  Keep the old binding and let
+                        # the retry budget govern: the next attempt may get
+                        # through, and a genuinely dead address will exhaust
+                        # the attempts into BindingNotFound below.
+                        pass
+            raise BindingNotFound(
+                f"could not reach {target} after {self.MAX_REFRESH_ATTEMPTS} refreshes",
+                loid=target,
+            ) from last_error
+        except BaseException as exc:
+            if span is not None:
+                span.status = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     # ---------------------------------------------------------------- teardown
 
     def fail_pending(self, reason: str) -> None:
-        """Fail all in-flight calls (object deactivating or migrating)."""
+        """Fail all in-flight calls (object deactivating or migrating).
+
+        Cancels each call's pending ``_expire`` timeout event too, so a
+        stale timeout can never fire after the failure was delivered.
+        """
         pending, self._pending = self._pending, {}
         for corr, fut in pending.items():
             self._cancel_timeout(corr)
+            if self._request_spans:
+                self._finish_request_span(corr, "cancelled")
             if not fut.done():
                 fut.set_exception(DeliveryFailure(f"runtime torn down: {reason}"))
 

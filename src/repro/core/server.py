@@ -21,16 +21,16 @@ registry -- the raw data of the Section 5 scalability experiments.
 from __future__ import annotations
 
 import types
-from typing import Any, Optional
+from typing import Optional
 
-from repro.errors import LegionError, MethodNotFound, ObjectDeleted, SecurityDenied
+from repro.errors import LegionError, MethodNotFound, SecurityDenied
 from repro.core.method import InvocationContext, MethodInvocation, MethodResult
 from repro.core.object_base import LegionObjectImpl
 from repro.core.runtime import LegionRuntime
 from repro.metrics.counters import ComponentId, ComponentKind, MetricsRegistry
 from repro.naming.binding import Binding
 from repro.naming.loid import LOID
-from repro.net.address import ObjectAddress, ObjectAddressElement
+from repro.net.address import ObjectAddress
 from repro.net.message import Message, MessageKind
 
 
@@ -61,6 +61,10 @@ class ObjectServer:
             default_timeout=getattr(services, "default_invocation_timeout", None),
         )
         self.component = ComponentId(component_kind, component_name or str(loid))
+        #: Pre-rendered span label; shared with the runtime so client-side
+        #: (request) and server-side (handle) spans name components alike.
+        self._component_label = str(self.component)
+        self.runtime.component_label = self._component_label
         self._endpoint = services.network.register(self.element, self.handle_message)
         self.active = True
         # Seed the runtime: well-known core bindings plus the system's
@@ -102,6 +106,14 @@ class ObjectServer:
             self.runtime.handle_delivery_failure(message)
             return
         if message.kind is MessageKind.EVENT:
+            tracer = self.services.tracer
+            if tracer is not None and tracer.active:
+                tracer.instant(
+                    "deliver event",
+                    "event",
+                    parent=message.trace,
+                    component=self._component_label,
+                )
             self.impl.handle_event(message.payload, message.source)
             return
         self._dispatch_request(message)
@@ -109,6 +121,20 @@ class ObjectServer:
     def _dispatch_request(self, message: Message) -> None:
         invocation: MethodInvocation = message.payload
         self.services.metrics.incr(self.component, MetricsRegistry.REQUESTS)
+        tracer = self.services.tracer
+        span = None
+        env = invocation.env
+        if tracer is not None and tracer.active:
+            # The server-side dispatch span.  Nested calls the method makes
+            # flow through ctx.nested_env, whose environment carries this
+            # span's context -- so the whole downstream subtree hangs here.
+            span = tracer.start(
+                "handle " + invocation.method,
+                "handle",
+                parent=message.trace,
+                component=self._component_label,
+            )
+            env = env.with_trace(span.context)
         try:
             if not self.impl.may_i(invocation.method, invocation.env):
                 raise SecurityDenied(
@@ -121,11 +147,13 @@ class ObjectServer:
                     f"{self.loid} exports no {invocation.method}/{invocation.arity}"
                 )
         except LegionError as exc:
+            if span is not None:
+                tracer.finish(span, type(exc).__name__)
             self._reply(message, MethodResult.failure(exc))
             return
 
         ctx = InvocationContext(
-            env=invocation.env, target=invocation.target, method=invocation.method
+            env=env, target=invocation.target, method=invocation.method
         )
         try:
             if export.wants_ctx:
@@ -133,9 +161,13 @@ class ObjectServer:
             else:
                 outcome = export.fn(self.impl, *invocation.args)
         except LegionError as exc:
+            if span is not None:
+                tracer.finish(span, type(exc).__name__)
             self._reply(message, MethodResult.failure(exc))
             return
         except Exception as exc:  # noqa: BLE001 - marshalled to caller
+            if span is not None:
+                tracer.finish(span, type(exc).__name__)
             self._reply(message, MethodResult.failure(exc))
             return
 
@@ -146,6 +178,9 @@ class ObjectServer:
             )
 
             def _finish(done_fut) -> None:
+                if span is not None:
+                    exc = done_fut.exception()
+                    tracer.finish(span, type(exc).__name__ if exc else "ok")
                 if done_fut.failed():
                     self._reply(message, MethodResult.failure(done_fut.exception()))
                 else:
@@ -153,6 +188,8 @@ class ObjectServer:
 
             fut.add_done_callback(_finish)
         else:
+            if span is not None:
+                tracer.finish(span)
             self._reply(message, MethodResult.success(outcome))
 
     def _reply(self, request: Message, result: MethodResult) -> None:

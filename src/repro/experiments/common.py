@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.metrics.recorder import SeriesRecorder
 from repro.naming.binding import Binding
@@ -66,6 +67,34 @@ class ExperimentResult:
             lines.append("")
             lines.append(self.notes)
         return "\n".join(lines)
+
+
+def trace_recorder(system: LegionSystem, trace: Optional[str]):
+    """Install causal tracing on ``system`` when ``trace`` names an output
+    directory (the ``--trace`` flag); returns the recorder, or None.
+
+    Experiments call this once per built system and slice
+    ``recorder.spans`` around their phases; the audits and the exported
+    Chrome trace add *checks and artifacts* without perturbing any counted
+    metric (spans live outside the message plane).
+    """
+    if trace is None:
+        return None
+    return system.enable_tracing()
+
+
+def export_trace(recorder, trace: str, experiment: str, seed: int) -> str:
+    """Write spans (a recorder, or a plain span list) as Chrome trace JSON.
+
+    Returns the path (``traces/e1-seed0.trace.json`` style), which the
+    experiment appends to its notes so the report says where to look.
+    """
+    from repro.trace.export import write_chrome_trace
+
+    os.makedirs(trace, exist_ok=True)
+    path = os.path.join(trace, f"{experiment.lower()}-seed{seed}.trace.json")
+    write_chrome_trace(getattr(recorder, "spans", recorder), path)
+    return path
 
 
 def count_messages(system: LegionSystem, fn: Callable[[], Any]) -> Tuple[Any, int]:

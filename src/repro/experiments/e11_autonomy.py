@@ -21,7 +21,6 @@ from repro import errors
 from repro.experiments.common import ExperimentResult, uniform_sites
 from repro.jurisdiction.magistrate import MagistrateImpl
 from repro.metrics.recorder import SeriesRecorder
-from repro.naming.loid import LOID
 from repro.persistence.opr import OPRecord
 from repro.security.mayi import TrustSetPolicy
 from repro.system.legion import LegionSystem

@@ -17,7 +17,7 @@ from typing import List, Set, Tuple
 
 from repro.experiments.common import ExperimentResult, uniform_sites
 from repro.metrics.recorder import SeriesRecorder
-from repro.naming.loid import LOID, PUBLIC_KEY_BITS, derive_public_key
+from repro.naming.loid import LOID, PUBLIC_KEY_BITS
 from repro.system.legion import LegionSystem
 from repro.workloads.apps import CounterImpl
 

@@ -17,9 +17,13 @@ states of the world:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import (
     ExperimentResult,
     count_messages,
+    export_trace,
+    trace_recorder,
     uniform_sites,
 )
 from repro.metrics.recorder import SeriesRecorder
@@ -27,8 +31,14 @@ from repro.system.legion import LegionSystem
 from repro.workloads.apps import CounterImpl
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Run E1; ``quick`` has no effect (the experiment is already small)."""
+def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> ExperimentResult:
+    """Run E1; ``quick`` has no effect (the experiment is already small).
+
+    With ``trace`` (an output directory), the four phases run under the
+    causal tracer and the claimed walk shapes are audited *structurally*:
+    the cold/inert walks stay within the paper's tier bound and the
+    client-warm call is exactly one request hop.
+    """
     recorder = SeriesRecorder(x_label="step")
     result = ExperimentResult(
         experiment="E1",
@@ -44,6 +54,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     cls = system.create_class("Counter", factory=CounterImpl)
     target = system.create_instance(cls.loid, context_name="e1/target")
     loid = target.loid
+    tracer = trace_recorder(system, trace)
 
     # -- cold: a brand-new client (empty cache; the agent is cold for this
     #    object too, since nobody has resolved it yet).
@@ -51,6 +62,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     _, cold_msgs = count_messages(
         system, lambda: system.call(loid, "Ping", client=cold_client)
     )
+    cold_spans = len(tracer.spans) if tracer else 0
 
     # -- agent-warm: another fresh client; the site agent now has the
     #    binding, so the walk stops at the agent.
@@ -58,11 +70,13 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     _, agent_warm_msgs = count_messages(
         system, lambda: system.call(loid, "Ping", client=warm_agent_client)
     )
+    agent_warm_spans = len(tracer.spans) if tracer else 0
 
     # -- client-warm: the same client again; its own cache hits.
     _, client_warm_msgs = count_messages(
         system, lambda: system.call(loid, "Ping", client=warm_agent_client)
     )
+    client_warm_spans = len(tracer.spans) if tracer else 0
 
     # -- inert: deactivate, then reference through a fresh client; the
     #    class must consult the magistrate, which activates the object.
@@ -70,6 +84,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     magistrate = row.current_magistrates[0]
     system.call(magistrate, "Deactivate", loid)
     inert_client = system.new_client("e1-inert")
+    inert_start = len(tracer.spans) if tracer else 0
     _, inert_msgs = count_messages(
         system, lambda: system.call(loid, "Ping", client=inert_client)
     )
@@ -103,6 +118,42 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         "cold walk: client→agent→LegionClass (locate class)→class→reply "
         "chain; inert adds class→magistrate→host activation messages."
     )
+
+    if tracer is not None:
+        from repro.trace.audit import TraceAudit
+
+        # The paper's maximum tier chain: client → Binding Agent →
+        # LegionClass → responsible class → Magistrate → Host (Fig. 13);
+        # six nested request hops bound every walk, warm or not.
+        cold = TraceAudit(tracer.spans[:cold_spans]).hop_bound(6)
+        result.check(
+            "trace: cold walk within the Fig. 13 tier bound",
+            cold.passed,
+            cold.detail,
+        )
+        warm = TraceAudit(
+            tracer.spans[agent_warm_spans:client_warm_spans]
+        ).exact_depth(1)
+        result.check(
+            "trace: client-warm call is exactly one request hop",
+            warm.passed,
+            warm.detail,
+        )
+        inert_slice = tracer.spans[inert_start:]
+        inert = TraceAudit(inert_slice).hop_bound(6)
+        result.check(
+            "trace: activate-on-reference stays within the tier bound",
+            inert.passed,
+            inert.detail,
+        )
+        result.check(
+            "trace: the inert walk reached a host Activate upcall",
+            any(s.kind == "activate" for s in inert_slice),
+            f"{sum(1 for s in inert_slice if s.kind == 'activate')} activation span(s)",
+        )
+        path = export_trace(tracer, trace, "e1", seed)
+        result.notes += f"\ntrace: {path}"
+
     result.sim_clock = system.kernel.now
     result.sim_events = system.kernel.events_executed
     return result

@@ -78,8 +78,14 @@ def _legion_class_load(
     )
 
 
-def _measure(n_agents: int, n_classes: int, fanout: int, seed: int):
-    """Fresh system; returns (flat load, tree load) on LegionClass."""
+def _measure(n_agents: int, n_classes: int, fanout: int, seed: int, traced: bool = False):
+    """Fresh system; returns (flat load, tree load, tree config's spans).
+
+    ``traced`` installs the causal tracer on the tree configuration; the
+    returned spans cover exactly the measured load phase (the pre-load
+    ``reset_measurements`` clears setup spans along with the counters)
+    plus the per-component request counters they must reconcile with.
+    """
     # -- flat: n independent root agents.
     system = LegionSystem.build(uniform_sites(2, hosts_per_site=2), seed=seed)
     classes = list(populate(system, n_classes, instances_per_class=0))
@@ -103,8 +109,11 @@ def _measure(n_agents: int, n_classes: int, fanout: int, seed: int):
         s
         for s in _servers_by_binding(system2, tree.leaves)
     ]
+    tracer = system2.enable_tracing() if traced else None
     tree_load = _legion_class_load(system2, leaf_servers, classes2)
-    return flat_load, tree_load
+    spans = list(tracer.spans) if tracer is not None else None
+    counts = system2.services.metrics.labelled_counts() if traced else None
+    return flat_load, tree_load, spans, counts
 
 
 def _servers_by_binding(system: LegionSystem, bindings: List[Binding]) -> List[ObjectServer]:
@@ -120,8 +129,15 @@ def _servers_by_binding(system: LegionSystem, bindings: List[Binding]) -> List[O
     return out
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Sweep leaf-agent count; compare flat vs tree LegionClass load."""
+def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> ExperimentResult:
+    """Sweep leaf-agent count; compare flat vs tree LegionClass load.
+
+    With ``trace``, the largest tree configuration runs under the causal
+    tracer and the combining-tree *mechanism* is audited: every tree node
+    hears from at most ``fanout`` distinct children (the structural fact
+    behind the flattened load), and the span ledger reconciles with the
+    request counters.
+    """
     recorder = SeriesRecorder(x_label="agents")
     result = ExperimentResult(
         experiment="E3",
@@ -136,8 +152,14 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     n_classes = 4 if quick else 8
     sweep = [2, 4, 8] if quick else [2, 4, 8, 16]
 
+    traced_spans = traced_counts = None
     for n_agents in sweep:
-        flat_load, tree_load = _measure(n_agents, n_classes, fanout, seed)
+        traced = trace is not None and n_agents == sweep[-1]
+        flat_load, tree_load, spans, counts = _measure(
+            n_agents, n_classes, fanout, seed, traced=traced
+        )
+        if traced:
+            traced_spans, traced_counts = spans, counts
         recorder.add(n_agents, flat=flat_load, tree=tree_load)
 
     flat_slope = recorder.slope("flat", log_log=True)
@@ -159,6 +181,27 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         final_tree < final_flat,
         f"{final_tree} < {final_flat}",
     )
+
+    if traced_spans is not None:
+        from repro.experiments.common import export_trace
+        from repro.trace.audit import TraceAudit
+
+        audit = TraceAudit(traced_spans)
+        fan_in = audit.fan_in_bound(fanout, "binding-agent:tree-")
+        result.check(
+            "trace: every tree node's fan-in <= arity",
+            fan_in.passed,
+            fan_in.detail,
+        )
+        reconcile = audit.reconciles_with(traced_counts, "binding-agent:")
+        result.check(
+            "trace: span ledger reconciles with agent request counters",
+            reconcile.passed,
+            reconcile.detail,
+        )
+
+        path = export_trace(traced_spans, trace, "e3", seed)
+        result.notes = f"trace (largest tree config): {path}"
     return result
 
 

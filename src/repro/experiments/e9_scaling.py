@@ -24,9 +24,9 @@ are flat (log-log slope ≈ 0) while the strawman's bottleneck grows
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.experiments.common import ExperimentResult, uniform_sites
+from repro.experiments.common import ExperimentResult, export_trace, uniform_sites
 from repro.metrics.counters import ComponentKind
 from repro.metrics.recorder import SeriesRecorder
 from repro.system.legion import LegionSystem
@@ -39,7 +39,16 @@ def _run_config(
     mitigated: bool,
     seed: int,
     quick: bool,
-) -> Dict[str, float]:
+    traced: bool = False,
+):
+    """One configuration; returns (maxima dict, measurement spans, counts).
+
+    ``traced`` records causal spans for the *measurement* phase only: the
+    tracer is installed before warm-up, and the ``reset_measurements``
+    between the phases clears warm-up spans together with the counters.
+    The spans feed the trace-side E9 audit (load slope recomputed from
+    the span ledger + reconciliation against these very counters).
+    """
     hosts_per_site = 2
     objects_per_site = 4 if quick else 6
     clients_per_site = 2
@@ -93,6 +102,8 @@ def _run_config(
         )
         assert stats.success_rate == 1.0, stats.errors[:3]
 
+    tracer = system.enable_tracing() if traced else None
+
     # Warm-up: the one-time cold misses (each agent learning the class and
     # object bindings) are a fixed per-site cost, not steady-state load --
     # the paper's claim is about the latter ("class bindings change very
@@ -102,7 +113,7 @@ def _run_config(
     run_traffic()
 
     metrics = system.services.metrics
-    return {
+    maxima = {
         "legion_class": metrics.max_by_kind(ComponentKind.LEGION_CLASS),
         "class_objects": metrics.max_by_kind(ComponentKind.CLASS_OBJECT),
         "agents": metrics.max_by_kind(ComponentKind.BINDING_AGENT),
@@ -110,10 +121,20 @@ def _run_config(
         "sim_clock": system.kernel.now,
         "sim_events": float(system.kernel.events_executed),
     }
+    spans = list(tracer.spans) if tracer is not None else None
+    counts = metrics.labelled_counts() if traced else None
+    return maxima, spans, counts
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Sweep sites; compare mitigated vs strawman bottleneck growth."""
+def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> ExperimentResult:
+    """Sweep sites; compare mitigated vs strawman bottleneck growth.
+
+    With ``trace``, every mitigated configuration also records causal
+    spans; the claim is then re-checked from the *trace side*: the
+    span-ledger's max per-component load must be ~flat in system size,
+    and at every size the ledger must reconcile exactly with the request
+    counters the table is built from.
+    """
     recorder = SeriesRecorder(x_label="sites")
     result = ExperimentResult(
         experiment="E9",
@@ -128,11 +149,26 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     sweep = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
     result.sim_clock = 0.0
     result.sim_events = 0
+    ledger_points = []
+    reconciliations = []
+    last_spans = None
     for n_sites in sweep:
-        mitigated = _run_config(n_sites, mitigated=True, seed=seed, quick=quick)
-        strawman = _run_config(n_sites, mitigated=False, seed=seed, quick=quick)
+        mitigated, spans, counts = _run_config(
+            n_sites, mitigated=True, seed=seed, quick=quick, traced=trace is not None
+        )
+        strawman, _, _ = _run_config(n_sites, mitigated=False, seed=seed, quick=quick)
         result.sim_clock += mitigated["sim_clock"] + strawman["sim_clock"]
         result.sim_events += int(mitigated["sim_events"] + strawman["sim_events"])
+        if spans is not None:
+            from repro.trace.audit import TraceAudit
+            from repro.trace.ledger import LoadLedger
+
+            ledger = LoadLedger(spans)
+            ledger_points.append((float(n_sites), ledger))
+            reconciliations.append(
+                TraceAudit(ledger).reconciles_with(counts).passed
+            )
+            last_spans = spans
         recorder.add(
             n_sites,
             legion_class=mitigated["legion_class"],
@@ -170,6 +206,24 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         "their load tracks the client population per class, which the "
         "paper addresses separately via cloning (E4)."
     )
+
+    if ledger_points:
+        from repro.trace.audit import load_slope_finding
+
+        for prefix, limit in [
+            ("legion-class:", 0.35),
+            ("binding-agent:", 0.35),
+            ("magistrate:", 0.35),
+        ]:
+            finding = load_slope_finding(ledger_points, prefix, limit)
+            result.check(finding.name, finding.passed, finding.detail)
+        result.check(
+            "trace: span ledger reconciles with counters at every size",
+            all(reconciliations),
+            f"{sum(reconciliations)}/{len(reconciliations)} sizes agree",
+        )
+        path = export_trace(last_spans, trace, "e9", seed)
+        result.notes += f"\ntrace (largest mitigated config): {path}"
     return result
 
 

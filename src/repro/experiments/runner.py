@@ -16,12 +16,13 @@ purely a wall-clock optimisation.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments import (
     ablation_caching,
@@ -79,11 +80,29 @@ class RunOutcome:
     seed: int
 
 
-def run_one(name: str, quick: bool, seed: int) -> RunOutcome:
-    """Execute one experiment; never raises (a crash is a failed outcome)."""
+def _accepts_trace(runner) -> bool:
+    """Whether an experiment runner takes the ``trace`` keyword."""
+    try:
+        return "trace" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+
+
+def run_one(
+    name: str, quick: bool, seed: int, trace: Optional[str] = None
+) -> RunOutcome:
+    """Execute one experiment; never raises (a crash is a failed outcome).
+
+    ``trace`` (an output directory) is forwarded to runners that support
+    causal tracing; the rest run exactly as without the flag.
+    """
     started = time.perf_counter()
     try:
-        result = RUNNERS[name](quick=quick, seed=seed)
+        runner = RUNNERS[name]
+        kwargs = {"quick": quick, "seed": seed}
+        if trace is not None and _accepts_trace(runner):
+            kwargs["trace"] = trace
+        result = runner(**kwargs)
         report = result.render()
         experiment = result.experiment
         passed = result.passed
@@ -106,13 +125,17 @@ def run_many(
     quick: bool = True,
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
+    trace: Optional[str] = None,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
 
     ``jobs=1`` runs inline (no pool, no fork) -- this is the reference
-    path whose output the parallel path reproduces byte-for-byte.
+    path whose output the parallel path reproduces byte-for-byte.  Traced
+    runs keep that contract: span ids and timestamps are functions of the
+    per-experiment kernel's deterministic schedule, so reports and
+    exported trace files are identical at any ``jobs``.
     """
-    tasks = [(name, quick, seed) for seed in seeds for name in names]
+    tasks = [(name, quick, seed, trace) for seed in seeds for name in names]
     if jobs <= 1 or len(tasks) <= 1:
         return [run_one(*task) for task in tasks]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
@@ -161,6 +184,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="run up to N experiments in parallel processes (default 1)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="traces",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record causal traces: trace-aware experiments audit their "
+            "span trees and write Chrome trace_event JSON under DIR "
+            "(default: traces/)"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -180,7 +215,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
     seeds = args.seeds if args.seeds else [args.seed]
-    outcomes = run_many(names, quick=not args.full, seeds=seeds, jobs=args.jobs)
+    outcomes = run_many(
+        names, quick=not args.full, seeds=seeds, jobs=args.jobs, trace=args.trace
+    )
 
     for outcome in outcomes:
         print(outcome.report)

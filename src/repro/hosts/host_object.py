@@ -20,7 +20,7 @@ the DOE scenario.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Optional
 
 from repro.errors import HostError, NoCapacity, RequestRefused
 from repro.core.composite import CompositeImpl
@@ -151,6 +151,28 @@ class HostObjectImpl(LegionObjectImpl):
     @legion_method("address Activate(opr)")
     def activate(self, opr: OPRecord, *, ctx: Optional[InvocationContext] = None) -> ObjectAddress:
         """Start an object process from its OPR; returns its Object Address."""
+        tracer = self.services.tracer
+        span = None
+        if tracer is not None and tracer.active:
+            server = getattr(self, "server", None)
+            span = tracer.start(
+                "activate",
+                "activate",
+                parent=ctx.env.trace if ctx is not None else None,
+                component=server._component_label if server is not None else "",
+            )
+            span.annotate(target=str(opr.loid), kind=opr.component_kind)
+        try:
+            return self._activate(opr)
+        except BaseException as exc:
+            if span is not None:
+                span.status = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                tracer.finish(span)
+
+    def _activate(self, opr: OPRecord) -> ObjectAddress:
         self._check_capacity()
         if not self.admit(opr):
             raise RequestRefused(

@@ -8,7 +8,7 @@ standing in for the object's process, plus resource accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import HostError

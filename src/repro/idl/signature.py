@@ -9,7 +9,7 @@ so a signature's identity is the ``(name, parameter types)`` pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import InterfaceError

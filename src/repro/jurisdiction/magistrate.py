@@ -33,15 +33,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import (
-    HostError,
-    LifecycleError,
-    NoCapacity,
-    RequestRefused,
-    UnknownObject,
-)
+from repro.errors import LifecycleError, NoCapacity, RequestRefused, UnknownObject
 from repro.core.method import InvocationContext
 from repro.core.object_base import LegionObjectImpl, legion_method
 from repro.jurisdiction.jurisdiction import Jurisdiction

@@ -21,7 +21,7 @@ objects."
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import LegionError
 from repro.core.server import ObjectServer

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class ComponentKind(enum.Enum):
@@ -103,6 +103,19 @@ class MetricsRegistry:
             comp.name: events.get(event, 0)
             for comp, events in self._counts.items()
             if comp.kind == kind
+        }
+
+    def labelled_counts(self, event: str = REQUESTS) -> Dict[str, int]:
+        """All ``event`` counts keyed by the "kind:name" component label.
+
+        The labels are exactly the ``component`` strings causal-trace
+        spans carry, so a trace-derived load ledger can be reconciled
+        against these counters entry by entry (see repro.trace.audit).
+        """
+        return {
+            str(comp): events.get(event, 0)
+            for comp, events in self._counts.items()
+            if events.get(event, 0)
         }
 
     def top(

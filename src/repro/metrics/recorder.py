@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,19 +53,37 @@ class SeriesRecorder:
         On log-log axes the slope is the growth *exponent*: ~0 means the
         series is flat in system size (the distributed-systems-principle
         pass condition), ~1 means linear growth (a bottleneck).
+
+        Log-log handling of awkward values: points at ``x <= 0`` have no
+        log image and are *skipped* (a sweep may legitimately start at 0);
+        zero ``y`` values are clamped to a tiny positive floor, so an
+        all-zero series fits as flat instead of blowing up; negative ``y``
+        counts indicate a recording bug and raise.
         """
         pts = [
             (x, v)
             for (x, values), v in zip(self._rows, self.series(name))
             if v is not None
         ]
+        if log_log:
+            negative = [(x, v) for x, v in pts if v < 0]
+            if negative:
+                raise ValueError(
+                    f"log-log slope of {name!r}: negative value "
+                    f"{negative[0][1]} at x={negative[0][0]}"
+                )
+            dropped = len(pts)
+            pts = [(x, v) for x, v in pts if x > 0]
+            dropped -= len(pts)
         if len(pts) < 2:
-            raise ValueError(f"need >= 2 points to fit a slope for {name!r}")
+            extra = f" ({dropped} point(s) at x<=0 dropped)" if log_log and dropped else ""
+            raise ValueError(
+                f"need >= 2 points to fit a slope for {name!r}, "
+                f"have {len(pts)}{extra}"
+            )
         xs = np.array([p[0] for p in pts], dtype=float)
         ys = np.array([p[1] for p in pts], dtype=float)
         if log_log:
-            if (xs <= 0).any() or (ys < 0).any():
-                raise ValueError("log-log slope needs positive x and non-negative y")
             xs = np.log(xs)
             ys = np.log(np.maximum(ys, 1e-12))
         slope, _intercept = np.polyfit(xs, ys, 1)

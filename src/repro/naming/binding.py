@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.naming.loid import LOID
 from repro.net.address import ObjectAddress

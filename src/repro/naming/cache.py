@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.naming.binding import Binding

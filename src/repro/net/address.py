@@ -17,7 +17,7 @@ level without changing application semantics (section 4.3).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.errors import AddressError

@@ -23,9 +23,9 @@ The network never interprets payloads; it moves envelopes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set
 
-from repro.errors import AddressError, NetworkError
+from repro.errors import NetworkError
 from repro.net.address import ObjectAddressElement
 from repro.net.latency import LatencyModel, LinkClass
 from repro.net.message import Message, MessageKind
@@ -87,6 +87,11 @@ class Network:
         self.latency = latency_model or LatencyModel()
         self.rng = rng
         self.stats = NetworkStats()
+        #: Causal-trace recorder, or None.  The network only *annotates*
+        #: traces (injected drops/partition blocks); span lifecycles stay
+        #: with the runtimes, so this is None-checked per incident, never
+        #: per message.
+        self.tracer = None
         self._endpoints: Dict[ObjectAddressElement, Endpoint] = {}
         self._next_port: Dict[int, int] = {}
         #: Per-class probability that a message is silently lost.
@@ -172,12 +177,14 @@ class Network:
 
         if self._partitioned(src.host, dst.host):
             self.stats.partition_blocks += 1
+            self._trace_incident(message, "partition-block", link)
             self._bounce(message, "network partition", delay=one_way)
             return
 
         drop_p = self.drop_probability.get(link, 0.0)
         if drop_p > 0.0 and self.rng is not None and self.rng.random() < drop_p:
             self.stats.drops += 1
+            self._trace_incident(message, "drop", link)
             # A silent drop: the sender only learns via its own timeout.
             return
 
@@ -191,6 +198,15 @@ class Network:
             return
         self.stats.messages_delivered += 1
         ep.handler(message)
+
+    def _trace_incident(self, message: Message, what: str, link: LinkClass) -> None:
+        """Record a network-injected failure on the message's trace."""
+        tracer = self.tracer
+        if tracer is None or message.trace is None or not tracer.active:
+            return
+        tracer.instant(
+            what, "net", parent=message.trace, component="net:fabric", link=link.value
+        )
 
     def _bounce(self, message: Message, reason: str, delay: float) -> None:
         """Schedule a DELIVERY_FAILURE notice back at the sender."""

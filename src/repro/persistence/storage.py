@@ -12,7 +12,6 @@ import itertools
 from typing import Dict, List, Optional
 
 from repro.errors import StorageError
-from repro.naming.loid import LOID
 from repro.persistence.opr import OPRecord, PersistentAddress
 
 

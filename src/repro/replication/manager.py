@@ -17,7 +17,7 @@ from repro.core.method import MethodInvocation
 from repro.core.runtime import LegionRuntime
 from repro.naming.binding import Binding
 from repro.naming.loid import LOID
-from repro.net.address import ObjectAddress, ObjectAddressElement
+from repro.net.address import ObjectAddressElement
 from repro.security.environment import CallEnvironment
 from repro.simkernel.futures import SimFuture
 

@@ -15,19 +15,29 @@ Security Agent, and the Calling Agent."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Optional
 
 from repro.naming.loid import LOID
 
 
 @dataclass(frozen=True, slots=True)
 class CallEnvironment:
-    """The security triple carried by every MethodInvocation."""
+    """The security triple carried by every MethodInvocation.
+
+    The environment also carries the call chain's causal coordinates
+    (``trace``): the tracing layer threads a
+    :class:`~repro.trace.context.TraceContext` through the same channel
+    the (RA, SA) pair propagates on, so nested calls made inside a server
+    method parent to the dispatch span that runs them.  ``trace`` is
+    ``None`` whenever tracing is off and is excluded from equality -- two
+    environments with the same security triple stay interchangeable.
+    """
 
     responsible_agent: LOID
     security_agent: LOID
     calling_agent: LOID
+    trace: Any = field(default=None, compare=False)
 
     @classmethod
     def originating(cls, origin: LOID, security_agent: Optional[LOID] = None) -> "CallEnvironment":
@@ -51,6 +61,7 @@ class CallEnvironment:
             responsible_agent=self.responsible_agent,
             security_agent=self.security_agent,
             calling_agent=caller,
+            trace=self.trace,
         )
 
     def rerooted(self, new_responsible: LOID, caller: LOID) -> "CallEnvironment":
@@ -59,6 +70,16 @@ class CallEnvironment:
             responsible_agent=new_responsible,
             security_agent=self.security_agent,
             calling_agent=caller,
+            trace=self.trace,
+        )
+
+    def with_trace(self, trace: Any) -> "CallEnvironment":
+        """The same security triple carrying new causal coordinates."""
+        return CallEnvironment(
+            responsible_agent=self.responsible_agent,
+            security_agent=self.security_agent,
+            calling_agent=self.calling_agent,
+            trace=trace,
         )
 
     def __str__(self) -> str:

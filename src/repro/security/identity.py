@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.naming.loid import LOID, derive_public_key
+from repro.naming.loid import LOID
 
 
 def verify_identity(loid: LOID, system_secret: int) -> bool:

@@ -13,7 +13,7 @@ surfaced to the caller as :class:`~repro.errors.SecurityDenied`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Sequence, Set, Tuple
 
 from repro.naming.loid import LOID
 from repro.security.environment import CallEnvironment

@@ -24,10 +24,10 @@ Legion method invocations travelling through the simulated network.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import BootstrapError, LegionError
+from repro.errors import BootstrapError
 from repro.binding.agent import BindingAgentImpl
 from repro.core.class_types import ClassFlavor
 from repro.core.context import SystemServices
@@ -477,9 +477,39 @@ class LegionSystem:
     # ------------------------------------------------------------------- metrics
 
     def reset_measurements(self) -> None:
-        """Zero all counters (between warm-up and measurement phases)."""
+        """Zero all counters (between warm-up and measurement phases).
+
+        When tracing is on, recorded spans are dropped too, so a trace --
+        like the counters -- covers only the measurement phase.
+        """
         self.services.metrics.reset()
         self.network.stats.reset()
+        if self.services.tracer is not None:
+            self.services.tracer.clear()
+
+    # ------------------------------------------------------------------- tracing
+
+    def enable_tracing(self, recorder=None):
+        """Install a causal-trace recorder; returns it.
+
+        Every message sent from now on carries a
+        :class:`~repro.trace.context.TraceContext` and every invocation,
+        resolution, dispatch, and activation records a span.  Call with a
+        prepared :class:`~repro.trace.SpanRecorder` to share one recorder
+        between phases, or with nothing for a fresh active one.
+        """
+        from repro.trace.recorder import SpanRecorder
+
+        if recorder is None:
+            recorder = SpanRecorder(self.kernel)
+        self.services.tracer = recorder
+        self.network.tracer = recorder
+        return recorder
+
+    def disable_tracing(self) -> None:
+        """Return to the zero-overhead no-op mode (spans are discarded)."""
+        self.services.tracer = None
+        self.network.tracer = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,165 @@
+"""TraceAudit: mechanical scalability assertions over span trees.
+
+Each audit turns one of the paper's Section 4/5 shape arguments into a
+per-operation check against recorded spans:
+
+* **hop bound** (E1, sections 4.1.2-4.1.3): no logical operation's
+  binding walk may chain more than ``max_hops`` request/reply exchanges
+  in depth -- client cache → Binding Agent → LegionClass → responsible
+  class → Magistrate → Host is the longest path the mechanism allows;
+* **fan-in bound** (E3, section 5.2.2): a combining-tree node hears from
+  at most ``arity`` distinct children, which is *why* the tree flattens
+  LegionClass load;
+* **load slope** (E9, section 5.2): the per-component request maximum,
+  recomputed from spans, must not be an increasing function of system
+  size;
+* **ledger/counter reconciliation**: the span-derived request count for
+  a component must equal the aggregate counter the metrics registry kept
+  -- the tracing layer may not invent or lose load.
+
+Audits return :class:`AuditFinding` values (never raise), so experiments
+can fold them into their PASS/FAIL check lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.metrics.recorder import SeriesRecorder
+from repro.trace.ledger import LoadLedger
+from repro.trace.recorder import Span
+
+
+@dataclass
+class AuditFinding:
+    """One audit outcome, shaped like an experiment check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.name}{detail}"
+
+
+class TraceAudit:
+    """Audits over one span set (see module docstring)."""
+
+    def __init__(self, spans: Union[Iterable[Span], LoadLedger]) -> None:
+        self.ledger = spans if isinstance(spans, LoadLedger) else LoadLedger(spans)
+
+    # -- E1: binding path hop bound -------------------------------------------
+
+    def hop_bound(self, max_hops: int, name: str = "trace: binding path hop bound") -> AuditFinding:
+        """Every operation's request chain is at most ``max_hops`` deep."""
+        depths = self.ledger.hop_depths()
+        worst = max(depths, default=0)
+        return AuditFinding(
+            name,
+            worst <= max_hops,
+            f"max depth {worst} <= {max_hops} over {len(depths)} operations",
+        )
+
+    def exact_depth(
+        self, depth: int, name: str = "trace: operation depth"
+    ) -> AuditFinding:
+        """Every operation is exactly ``depth`` request hops deep (warm
+        calls: precisely one request/reply pair, nothing hidden)."""
+        depths = self.ledger.hop_depths()
+        ok = bool(depths) and all(d == depth for d in depths)
+        return AuditFinding(
+            name, ok, f"depths {sorted(set(depths))} == [{depth}]"
+        )
+
+    # -- E3: combining-tree fan-in --------------------------------------------
+
+    def fan_in_bound(
+        self,
+        arity: int,
+        prefix: str,
+        name: str = "trace: combining-tree fan-in <= arity",
+    ) -> AuditFinding:
+        """Every component under ``prefix`` hears from <= ``arity`` peers."""
+        fans = self.ledger.fan_ins(prefix)
+        if not fans:
+            return AuditFinding(name, False, f"no components match {prefix!r}")
+        worst = max(fans, key=lambda c: (fans[c], c))
+        return AuditFinding(
+            name,
+            fans[worst] <= arity,
+            f"max fan-in {fans[worst]} ({worst}) <= {arity} "
+            f"over {len(fans)} nodes",
+        )
+
+    # -- reconciliation ---------------------------------------------------------
+
+    def reconciles_with(
+        self,
+        counted: Dict[str, int],
+        prefix: str = "",
+        name: str = "trace: span ledger reconciles with request counters",
+    ) -> AuditFinding:
+        """Span-derived handled counts equal the aggregate counters.
+
+        ``counted`` maps component labels to the metrics registry's
+        request counts (only labels under ``prefix`` are compared).
+        """
+        ledger_loads = self.ledger.loads(prefix)
+        expected = {
+            comp: n for comp, n in counted.items() if comp.startswith(prefix) and n
+        }
+        mismatches = sorted(
+            comp
+            for comp in set(ledger_loads) | set(expected)
+            if ledger_loads.get(comp, 0) != expected.get(comp, 0)
+        )
+        return AuditFinding(
+            name,
+            not mismatches,
+            "all components agree"
+            if not mismatches
+            else f"mismatch at {mismatches[:3]}",
+        )
+
+
+def load_slope(
+    points: Sequence[Tuple[float, LoadLedger]],
+    prefix: str,
+) -> float:
+    """Log-log slope of max per-component load (under ``prefix``) vs size.
+
+    The E9 audit: with the paper's mitigations, this should be ~0 (flat in
+    host count).  Zero loads are admissible -- the slope fit clamps them
+    (see ``SeriesRecorder.slope``).
+    """
+    recorder = SeriesRecorder(x_label="size")
+    for x, ledger in points:
+        _comp, worst = ledger.max_load(prefix)
+        recorder.add(x, load=worst)
+    return recorder.slope("load", log_log=True)
+
+
+def load_slope_finding(
+    points: Sequence[Tuple[float, LoadLedger]],
+    prefix: str,
+    limit: float,
+    name: str = "",
+) -> AuditFinding:
+    """The E9 pass/fail wrapper around :func:`load_slope`.
+
+    Mirrors E9's counter-based convention: when every observed maximum is
+    <= 1 the load is negligible at every size and the slope fit would be
+    pure noise, so the finding passes outright.
+    """
+    name = name or f"trace: max {prefix or 'component'} load ~flat in size"
+    maxima: List[int] = [ledger.max_load(prefix)[1] for _x, ledger in points]
+    if all(m <= 1 for m in maxima):
+        return AuditFinding(name, True, f"negligible load {maxima}")
+    slope = load_slope(points, prefix)
+    return AuditFinding(name, slope < limit, f"log-log slope {slope:.3f} < {limit}")

@@ -1,0 +1,151 @@
+"""LoadLedger: per-component load, hop depths, and fan-in, from spans.
+
+The paper argues scalability by mechanism shape: bounded hop counts on
+the binding path (4.1.2), combining-tree fan-in no wider than the tree's
+arity (5.2.2), and per-component request load that must not grow with
+host count (5.2).  The ledger derives each of those quantities from a
+span set, so every claim the aggregate counters check can also be checked
+per operation and per hop.
+
+Definitions:
+
+* **requests handled** by a component = its "handle" spans (one per
+  REQUEST dispatched to it);
+* **load rate** = handled / observed simulated-time window;
+* **hop depth** of a logical operation = the maximum number of "request"
+  spans on any root-to-leaf path of its span tree (each request span is
+  one wire request/reply exchange);
+* **fan-in** of a component = the number of distinct components whose
+  request spans parent its handle spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.trace.recorder import Span
+
+
+class LoadLedger:
+    """Aggregates one span set into the paper's three load shapes."""
+
+    def __init__(self, spans: Iterable[Span]) -> None:
+        self.spans: List[Span] = list(spans)
+        self._by_id: Dict[int, Span] = {s.span_id: s for s in self.spans}
+        self._children: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            self._children.setdefault(span.parent_id, []).append(span)
+        #: component → number of requests it handled.
+        self.handled: Dict[str, int] = {}
+        #: component → distinct sender components (fan-in sets).
+        self.sources: Dict[str, Set[str]] = {}
+        t0, t1 = None, None
+        for span in self.spans:
+            start = span.start
+            end = span.end if span.end is not None else span.start
+            t0 = start if t0 is None or start < t0 else t0
+            t1 = end if t1 is None or end > t1 else t1
+            if span.kind != "handle":
+                continue
+            self.handled[span.component] = self.handled.get(span.component, 0) + 1
+            parent = self._by_id.get(span.parent_id)
+            if parent is not None and parent.kind == "request":
+                self.sources.setdefault(span.component, set()).add(parent.component)
+        #: Observed simulated-time window [first start, last end].
+        self.window: Tuple[float, float] = (t0 or 0.0, t1 or 0.0)
+
+    # -- load -----------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Length of the observed window (simulated ms)."""
+        return self.window[1] - self.window[0]
+
+    def load_rate(self, component: str) -> float:
+        """Requests handled per unit simulated time (0.0 on empty window)."""
+        span = self.duration
+        return self.handled.get(component, 0) / span if span > 0 else 0.0
+
+    def loads(self, prefix: str = "") -> Dict[str, int]:
+        """component → handled count, optionally filtered by label prefix.
+
+        Component labels follow ``ComponentId``'s "kind:name" format, so
+        ``prefix="binding-agent:"`` selects one infrastructure kind.
+        """
+        return {
+            comp: n
+            for comp, n in self.handled.items()
+            if comp.startswith(prefix)
+        }
+
+    def max_load(self, prefix: str = "") -> Tuple[str, int]:
+        """The most-loaded component (and its count) under ``prefix``.
+
+        Returns ``("", 0)`` when no component matches -- the same "absent
+        means unloaded" convention as ``MetricsRegistry.max_by_kind``.
+        """
+        loads = self.loads(prefix)
+        if not loads:
+            return ("", 0)
+        comp = max(loads, key=lambda c: (loads[c], c))
+        return (comp, loads[comp])
+
+    # -- fan-in ----------------------------------------------------------------
+
+    def fan_in(self, component: str) -> int:
+        """Distinct components that sent requests to ``component``."""
+        return len(self.sources.get(component, ()))
+
+    def fan_ins(self, prefix: str = "") -> Dict[str, int]:
+        """component → fan-in, optionally filtered by label prefix."""
+        return {
+            comp: len(senders)
+            for comp, senders in self.sources.items()
+            if comp.startswith(prefix)
+        }
+
+    # -- hop depth -------------------------------------------------------------
+
+    def _request_depth(self, span: Span) -> int:
+        # Iterative DFS: binding walks can recurse through many tiers and
+        # this must not depend on Python's recursion limit.
+        best = 0
+        stack = [(span, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.kind == "request":
+                depth += 1
+                best = depth if depth > best else best
+            for child in self._children.get(node.span_id, ()):
+                stack.append((child, depth))
+        return best
+
+    def roots(self) -> List[Span]:
+        """Roots of the span set (parent absent or outside the set)."""
+        return [
+            s
+            for s in self.spans
+            if s.parent_id == 0 or s.parent_id not in self._by_id
+        ]
+
+    def hop_depths(self) -> List[int]:
+        """Per logical operation: max request-hop depth of its span tree."""
+        return [self._request_depth(root) for root in self.roots()]
+
+    def hop_histogram(self) -> Dict[int, int]:
+        """hop depth → number of operations that reached it."""
+        hist: Dict[int, int] = {}
+        for depth in self.hop_depths():
+            hist[depth] = hist.get(depth, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def max_hop_depth(self) -> int:
+        """The deepest request chain of any operation (0 if no spans)."""
+        depths = self.hop_depths()
+        return max(depths, default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LoadLedger spans={len(self.spans)} components={len(self.handled)} "
+            f"window={self.duration:.1f}ms>"
+        )

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.context import SystemServices
 from repro.core.relations import RelationGraph
-from repro.experiments.common import uniform_sites
 from repro.metrics.counters import MetricsRegistry
 from repro.net.latency import LatencyModel
 from repro.net.network import Network

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import errors
-from repro.core.context import ImplRegistry, SystemServices
+from repro.core.context import ImplRegistry
 from repro.core.method import (
     InvocationContext,
     MethodInvocation,

@@ -1,6 +1,5 @@
 """Unit tests for LegionObjectImpl: exports, mandatory methods, state."""
 
-import pytest
 
 from repro.core.object_base import (
     LegionObjectImpl,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import errors
-from repro.core.method import MethodResult
 from repro.naming.binding import Binding
 from repro.net.address import AddressSemantic, ObjectAddress
 from repro.security.environment import CallEnvironment

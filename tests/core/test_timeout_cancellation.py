@@ -1,0 +1,103 @@
+"""Regression tests: settled requests must cancel their timeout events.
+
+Every request with a deadline schedules an ``_expire`` kernel event.  When
+the request settles early -- a reply, a delivery failure, or the runtime
+being torn down -- that event must be cancelled, not left to fire against
+a recycled correlation id or to bump the timeout counter spuriously.
+"""
+
+import pytest
+
+from repro import errors
+from repro.naming.binding import Binding
+from repro.naming.loid import LOID
+from repro.net.address import ObjectAddress
+
+from .conftest import EchoImpl, run_call, start_object
+
+
+def _drain(services) -> None:
+    """Run the kernel dry -- far past any pending deadline."""
+    services.kernel.run()
+
+
+def _black_hole_binding(services, host=3):
+    """A live endpooint that swallows every message (requests vanish)."""
+    element = services.network.allocate_element(host)
+    services.network.register(element, lambda message: None)
+    loid = LOID.for_instance(91, 1, services.secret)
+    return Binding(loid, ObjectAddress.single(element))
+
+
+class TestTimeoutCancellation:
+    def test_reply_cancels_the_timeout_event(self, services, echo_pair):
+        caller, callee = echo_pair
+        assert run_call(services, caller, callee.loid, "Ping") == "pong"
+        assert caller.runtime._timeout_handles == {}
+        # Drive simulated time far beyond the default deadline: the
+        # cancelled _expire must not fire.
+        _drain(services)
+        assert caller.runtime.stats.timeouts == 0
+
+    def test_every_settled_request_releases_its_handle(self, services, echo_pair):
+        caller, callee = echo_pair
+        for i in range(5):
+            run_call(services, caller, callee.loid, "Echo", str(i))
+        assert caller.runtime._timeout_handles == {}
+        assert caller.runtime._pending == {}
+
+    def test_delivery_failure_cancels_the_timeout_event(self, services, echo_pair):
+        caller, callee = echo_pair
+        callee.deactivate()  # requests now bounce as stale
+        with pytest.raises(errors.LegionError):
+            run_call(services, caller, callee.loid, "Ping")
+        assert caller.runtime._timeout_handles == {}
+        _drain(services)
+        assert caller.runtime.stats.timeouts == 0
+
+    def test_fail_pending_cancels_in_flight_timeouts(self, services, echo_pair):
+        caller, callee = echo_pair
+        fut = services.kernel.spawn(
+            caller.runtime.invoke(callee.loid, "Slow", 500.0)
+        )
+        # Let the request leave but not complete.
+        services.kernel.run(until=1.0)
+        assert caller.runtime._timeout_handles
+        caller.runtime.fail_pending("deactivating")
+        assert caller.runtime._timeout_handles == {}
+        _drain(services)
+        assert caller.runtime.stats.timeouts == 0
+        # The teardown surfaces as DeliveryFailure, or -- because the
+        # invoke retry loop treats it as a stale binding and there is no
+        # Binding Agent to refresh from -- as BindingNotFound.
+        with pytest.raises((errors.DeliveryFailure, errors.BindingNotFound)):
+            fut.result()
+
+    def test_genuine_timeout_still_fires_and_cleans_up(self, services):
+        caller = start_object(services, EchoImpl("caller"), host=1)
+        binding = _black_hole_binding(services)
+        caller.runtime.seed_binding(binding)
+        with pytest.raises(errors.LegionError) as excinfo:
+            run_call(services, caller, binding.loid, "Ping", timeout=50.0)
+        # The timeout surfaces directly, or -- after refresh attempts with
+        # no Binding Agent -- as BindingNotFound; either way it was counted
+        # and its bookkeeping is gone.
+        assert isinstance(
+            excinfo.value, (errors.InvocationTimeout, errors.BindingNotFound)
+        )
+        assert caller.runtime.stats.timeouts >= 1
+        assert caller.runtime._timeout_handles == {}
+        assert caller.runtime._pending == {}
+
+    def test_late_reply_after_timeout_is_dropped(self, services, echo_pair):
+        caller, callee = echo_pair
+        fut = services.kernel.spawn(
+            caller.runtime.invoke(callee.loid, "Slow", 400.0, timeout=10.0)
+        )
+        _drain(services)
+        assert fut.failed()
+        # The reply eventually arrived at the caller and was discarded:
+        # no pending entry, no stale timeout handle, exactly one timeout.
+        assert caller.runtime._pending == {}
+        assert caller.runtime._timeout_handles == {}
+        assert caller.runtime.stats.timeouts == 1

@@ -1,7 +1,5 @@
 """The experiment-suite CLI (python -m repro.experiments)."""
 
-import io
-from contextlib import redirect_stdout
 
 import pytest
 
@@ -32,3 +30,19 @@ class TestCLI:
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["e99"])
+
+    def test_trace_flag_writes_chrome_trace_json(self, capsys, tmp_path):
+        import json
+
+        assert main(["e1", "--quick", "--trace", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        trace_file = tmp_path / "e1-seed0.trace.json"
+        doc = json.loads(trace_file.read_text())
+        assert doc["traceEvents"]
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_trace_flag_is_inert_for_unaware_experiments(self, capsys, tmp_path):
+        # e12 does not take the trace kwarg; the flag must not crash it.
+        assert main(["e12", "--quick", "--trace", str(tmp_path)]) == 0
+        assert "all claims hold" in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Unit tests for the experiment harness machinery itself."""
 
-import pytest
 
 from repro.experiments.common import (
     Check,

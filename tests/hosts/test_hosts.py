@@ -3,7 +3,6 @@
 import pytest
 
 from repro import errors
-from repro.hosts.host_object import HostObjectImpl
 from repro.hosts.host_types import (
     CM5HostImpl,
     CrayT3DHostImpl,

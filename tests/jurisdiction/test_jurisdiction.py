@@ -1,8 +1,6 @@
 """Tests for Jurisdiction structure (2.2, Fig. 10)."""
 
-import pytest
 
-from repro.errors import LegionError
 from repro.jurisdiction.jurisdiction import Jurisdiction
 from repro.naming.loid import LOID
 

@@ -1,0 +1,61 @@
+"""Guard rails of SeriesRecorder.slope on log-log axes.
+
+Experiment sweeps legitimately produce zero counts (an unloaded
+component) and may include an x=0 row; the log-log fit must handle both
+without blowing up, while still refusing genuinely malformed data.
+"""
+
+import pytest
+
+from repro.metrics.recorder import SeriesRecorder
+
+
+def _recorder(points):
+    recorder = SeriesRecorder(x_label="n")
+    for x, y in points:
+        recorder.add(x, load=y)
+    return recorder
+
+
+class TestLogLogGuards:
+    def test_all_zero_series_fits_flat(self):
+        recorder = _recorder([(1, 0), (2, 0), (4, 0)])
+        assert recorder.slope("load", log_log=True) == pytest.approx(0.0)
+
+    def test_zero_values_mixed_with_positive_do_not_raise(self):
+        recorder = _recorder([(1, 0), (2, 4), (4, 8)])
+        recorder.slope("load", log_log=True)  # clamped, not an error
+
+    def test_x_at_zero_is_skipped_not_fatal(self):
+        recorder = _recorder([(0, 5), (1, 5), (2, 5)])
+        assert recorder.slope("load", log_log=True) == pytest.approx(0.0)
+
+    def test_skipping_x_zero_does_not_change_remaining_fit(self):
+        with_zero = _recorder([(0, 99), (1, 2), (2, 4), (4, 8)])
+        without = _recorder([(1, 2), (2, 4), (4, 8)])
+        assert with_zero.slope("load", log_log=True) == pytest.approx(
+            without.slope("load", log_log=True)
+        )
+
+    def test_too_few_points_after_skipping_raises_clearly(self):
+        recorder = _recorder([(0, 5), (-1, 5), (2, 5)])
+        with pytest.raises(ValueError, match="x<=0"):
+            recorder.slope("load", log_log=True)
+
+    def test_negative_value_raises_with_context(self):
+        recorder = _recorder([(1, 2), (2, -3), (4, 8)])
+        with pytest.raises(ValueError, match="negative value -3.0 at x=2.0"):
+            recorder.slope("load", log_log=True)
+
+    def test_linear_axes_accept_zero_and_negative_freely(self):
+        recorder = _recorder([(0, -5), (1, 0), (2, 5)])
+        assert recorder.slope("load") == pytest.approx(5.0)
+
+    def test_under_two_points_still_raises(self):
+        recorder = _recorder([(1, 2)])
+        with pytest.raises(ValueError, match=">= 2 points"):
+            recorder.slope("load", log_log=True)
+
+    def test_growth_exponent_recovered(self):
+        recorder = _recorder([(1, 3), (2, 6), (4, 12), (8, 24)])
+        assert recorder.slope("load", log_log=True) == pytest.approx(1.0)

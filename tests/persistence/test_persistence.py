@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import StorageError
 from repro.naming.loid import LOID
-from repro.persistence.opr import OPRecord, PersistentAddress
+from repro.persistence.opr import OPRecord
 from repro.persistence.storage import PersistentStore
 from repro.persistence.vault import Vault
 

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -10,7 +9,7 @@ from repro.errors import InterfaceError
 from repro.idl.interface import Interface
 from repro.idl.parser import parse_interface, parse_signature
 from repro.idl.signature import MethodSignature, Parameter
-from repro.naming.binding import Binding, NEVER_EXPIRES
+from repro.naming.binding import Binding
 from repro.naming.cache import BindingCache
 from repro.naming.loid import LOID, PUBLIC_KEY_BITS, derive_public_key
 from repro.net.address import (

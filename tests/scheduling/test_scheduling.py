@@ -5,7 +5,6 @@ import pytest
 from repro import errors
 from repro.metrics.counters import ComponentKind
 from repro.core.server import ObjectServer
-from repro.naming.loid import LOID
 from repro.scheduling.agent import (
     LeastLoadedSchedulingAgent,
     RandomSchedulingAgent,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import LegionError
-from repro.workloads.apps import CounterImpl, KVStoreImpl, WorkerImpl
+from repro.workloads.apps import KVStoreImpl, WorkerImpl
 from repro.workloads.generators import LocalityMix, TrafficDriver, ZipfPopularity
 
 
