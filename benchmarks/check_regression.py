@@ -39,6 +39,15 @@ def main(argv=None) -> int:
         default=0.05,
         help="allowed fractional slowdown per metric (default 0.05 = 5%%)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="fail unless METRIC is present in both snapshots (repeatable); "
+        "guards against a gate that silently passes because a snapshot "
+        "stopped carrying the metric it exists to protect",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -48,6 +57,15 @@ def main(argv=None) -> int:
 
     base = dict(throughputs(baseline))
     cand = dict(throughputs(candidate))
+    for name in args.require:
+        missing = [
+            label
+            for label, snap in (("baseline", base), ("candidate", cand))
+            if name not in snap
+        ]
+        if missing:
+            print(f"FAIL: required metric {name!r} missing from {', '.join(missing)}")
+            return 1
     floor = 1.0 - args.tolerance
     failures = []
     print(f"{'metric':<28} {'baseline':>14} {'candidate':>14} {'ratio':>8}")

@@ -30,6 +30,7 @@ from typing import Optional
 from repro.binding.resolver import resolve_loid
 from repro.core.method import InvocationContext
 from repro.core.object_base import LegionObjectImpl, legion_method
+from repro.errors import BindingNotFound, DeliveryFailure
 from repro.naming.binding import Binding
 
 
@@ -99,19 +100,29 @@ class BindingAgentImpl(LegionObjectImpl):
             self.runtime.cache.invalidate(loid)
 
         env = ctx.nested_env(self.loid) if ctx else self.own_env()
-        if self.parent is not None:
-            self.agent_stats.parent_escalations += 1
-            self._trace_note(ctx, cache="miss", escalated="parent")
-            binding = yield from self.runtime.invoke(
-                self.parent.loid, "GetBinding", query, env=env
-            )
-            self.runtime.cache.insert(binding)
-            return binding
+        try:
+            if self.parent is not None:
+                self.agent_stats.parent_escalations += 1
+                self._trace_note(ctx, cache="miss", escalated="parent")
+                binding = yield from self.runtime.invoke(
+                    self.parent.loid, "GetBinding", query, env=env
+                )
+                self.runtime.cache.insert(binding)
+                return binding
 
-        self.agent_stats.class_escalations += 1
-        self._trace_note(ctx, cache="miss", escalated="class")
-        binding = yield from resolve_loid(self.runtime, query, env)
-        return binding
+            self.agent_stats.class_escalations += 1
+            self._trace_note(ctx, cache="miss", escalated="class")
+            binding = yield from resolve_loid(self.runtime, query, env)
+            return binding
+        except DeliveryFailure as exc:
+            # The escalation path (parent agent, class, magistrate) is cut
+            # off -- partitioned, lossy, or mid-crash.  That is a *naming*
+            # outcome for the caller: "no binding right now", not a raw
+            # transport error from some inner hop it never talked to.
+            # Callers with a patient RetryPolicy re-ask after a backoff.
+            raise BindingNotFound(
+                f"binding walk for {loid} failed: {exc}", loid=loid
+            ) from exc
 
     @legion_method("InvalidateBinding(query)")
     def invalidate_binding(self, query) -> None:

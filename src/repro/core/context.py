@@ -105,6 +105,10 @@ class SystemServices:
     #: ``tracer is not None and tracer.active`` -- the zero-overhead no-op
     #: mode -- so installing a recorder is the *only* cost switch.
     tracer: Any = None
+    #: The chaos subsystem's :class:`repro.faults.FaultLog`, or ``None``
+    #: outside fault experiments.  Recovery paths append *observed*
+    #: incidents here so injected-vs-observed reconciliation works.
+    fault_log: Any = None
 
     def well_known_loid(self, role: str) -> LOID:
         """The LOID of a core object by role; raises if not bootstrapped."""

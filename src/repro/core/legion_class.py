@@ -32,6 +32,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import (
     BindingNotFound,
+    DeliveryFailure,
+    InvocationFailed,
+    NoCapacity,
     ObjectDeleted,
     ObjectModelError,
     RequestRefused,
@@ -531,7 +534,10 @@ class ClassObjectImpl(LegionObjectImpl):
                 address = yield from self.runtime.invoke(
                     magistrate, "Activate", loid, env=env
                 )
-            except RequestRefused:
+            except (RequestRefused, DeliveryFailure, InvocationFailed):
+                # Refused us, or we cannot reach it (partition, loss, the
+                # magistrate's own hop failing): try the next magistrate;
+                # the BindingNotFound below is retryable for the caller.
                 continue
             row.object_address = address
             return self._binding_for(loid, address)
@@ -546,7 +552,11 @@ class ClassObjectImpl(LegionObjectImpl):
         """GetBinding(binding): the caller's binding didn't work.
 
         If our table still holds the same address, it is stale knowledge:
-        clear it and re-resolve through a magistrate.
+        ask a Current Magistrate to *recover* the object -- the magistrate
+        probes the recorded host and, if the process is gone, reactivates
+        it from its persisted OPR on a surviving host (state preserved).
+        A plain Activate() would trust the magistrate's Active record and
+        hand the dead address straight back.
         """
         row = self.table.find(stale.loid)
         if row is None:
@@ -566,7 +576,36 @@ class ClassObjectImpl(LegionObjectImpl):
                 # failure may be transient (timeout, partition); keep the
                 # address and let the caller's retry budget decide.
                 return self._binding_for(stale.loid, row.object_address)
+            env = ctx.nested_env(self.loid) if ctx else self.own_env()
             row.object_address = None
+            for magistrate in list(row.current_magistrates):
+                try:
+                    address = yield from self.runtime.invoke(
+                        magistrate, "RecoverObject", stale.loid, env=env
+                    )
+                except (
+                    RequestRefused,
+                    BindingNotFound,
+                    NoCapacity,
+                    ObjectModelError,
+                    DeliveryFailure,
+                    InvocationFailed,
+                ):
+                    # "Didn't produce an address" for any reason -- refusal,
+                    # nothing to recover with, or the magistrate unreachable
+                    # (partition/loss, possibly wrapped by its dispatcher) --
+                    # means try the next one; exhaustion raises a retryable
+                    # BindingNotFound, never a raw transport error.
+                    continue
+                row.object_address = address
+                binding = self._binding_for(stale.loid, address)
+                self._propagate("add-binding", binding)
+                return binding
+            raise BindingNotFound(
+                f"class {self.class_name} could not recover {stale.loid}: "
+                "no Current Magistrate produced a working address",
+                loid=stale.loid,
+            )
         result = yield from self.get_binding(stale.loid, ctx=ctx)
         return result
 

@@ -34,12 +34,75 @@ from repro.net.address import AddressSemantic, ObjectAddress, ObjectAddressEleme
 from repro.net.message import Message
 from repro.security.environment import CallEnvironment
 from repro.simkernel.futures import SimFuture, gather, k_of
-from repro.simkernel.kernel import SimKernel
+from repro.simkernel.kernel import SimKernel, Timeout
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How ``invoke`` spends its failure budget (attempts, backoff, deadline).
+
+    The default policy reproduces the pre-policy behaviour exactly: four
+    attempts back-to-back (no backoff, no jitter, no per-call budget),
+    partitions raised immediately, resolution failures fatal.  Chaos-facing
+    callers install a patient policy (backoff + jitter + budget +
+    ``retry_partitions``) so calls ride out whole-host crashes and timed
+    partitions while recovery runs underneath them.
+
+    Frozen so policies can be shared between runtimes and compared by value.
+    """
+
+    #: Total tries of the call itself (1 = no retry).
+    max_attempts: int = 4
+    #: Delay before the *second* attempt; 0 disables backoff entirely.
+    base_backoff: float = 0.0
+    #: Multiplier applied per further attempt (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff delay.
+    max_backoff: float = 1_000.0
+    #: Fractional jitter: delay is scaled by 1 + jitter*U(-1, 1) from the
+    #: seeded "retry-backoff" RNG stream, so runs stay bit-identical.
+    jitter: float = 0.0
+    #: Wall (simulated) time budget for the whole invoke, measured from the
+    #: first attempt; None = unlimited.  A retry whose backoff would land
+    #: past the budget is not attempted (counts as an exhausted budget).
+    budget: Optional[float] = None
+    #: Treat PartitionedError like any delivery failure and retry (waiting
+    #: out a heal) instead of raising immediately.
+    retry_partitions: bool = False
+    #: Keep retrying with the old binding when a refresh comes back
+    #: BindingNotFound (e.g. the recovery control path is itself cut off by
+    #: a partition) instead of giving up on the spot.
+    retry_resolution_failures: bool = False
+
+    def backoff_delay(self, attempt: int, rng) -> float:
+        """Delay to sleep before ``attempt`` (2-based; attempt 1 never waits)."""
+        if attempt <= 1 or self.base_backoff <= 0.0:
+            return 0.0
+        delay = min(
+            self.base_backoff * self.backoff_factor ** (attempt - 2),
+            self.max_backoff,
+        )
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+#: The compatibility policy: identical semantics to the historical
+#: MAX_REFRESH_ATTEMPTS loop (see that constant's docstring).
+DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 @dataclass
 class RuntimeStats:
-    """Per-object communication statistics (feed the experiments)."""
+    """Per-object communication statistics (feed the experiments).
+
+    When ``_pending`` is empty the request-plane counters reconcile::
+
+        requests_sent == replies_received + timeouts
+                         + delivery_failures + cancelled
+
+    -- every request settles exactly one way; the property test pins this.
+    """
 
     invocations: int = 0
     requests_sent: int = 0
@@ -48,12 +111,24 @@ class RuntimeStats:
     refreshes: int = 0
     timeouts: int = 0
     agent_lookups: int = 0
+    #: Call attempts made by invoke() (== invocations when nothing retries).
+    attempts: int = 0
+    #: Successful re-resolutions after a stale binding was invalidated.
+    rebinds: int = 0
+    #: Invokes abandoned because the next backoff overran policy.budget.
+    budget_exhausted: int = 0
+    #: Requests settled by a DELIVERY_FAILURE notice.
+    delivery_failures: int = 0
+    #: Requests failed by fail_pending (teardown/migration).
+    cancelled: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
         self.invocations = self.requests_sent = self.replies_received = 0
         self.stale_detected = self.refreshes = self.timeouts = 0
         self.agent_lookups = 0
+        self.attempts = self.rebinds = self.budget_exhausted = 0
+        self.delivery_failures = self.cancelled = 0
 
 
 class LegionRuntime:
@@ -83,6 +158,14 @@ class LegionRuntime:
         self.binding_agent: Optional[Binding] = None
         #: Per-request deadline when messages can be silently dropped.
         self.default_timeout = default_timeout
+        #: How invoke() spends its failure budget; swap per-object for
+        #: chaos-tolerant callers.  The default reproduces the historical
+        #: refresh loop bit-for-bit.
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+        #: (loid identity, stale address) → in-flight refresh future.  N
+        #: concurrent invokes sharing one dead address coalesce onto a
+        #: single GetBinding(stale) instead of storming the agent.
+        self._refreshing: Dict[tuple, SimFuture] = {}
         self._pending: Dict[int, SimFuture] = {}
         self._timeout_handles: Dict[int, Any] = {}
         #: Metrics-style "kind:name" label used on spans this runtime
@@ -144,6 +227,7 @@ class LegionRuntime:
             self._finish_request_span(message.correlation_id, "delivery-failure")
         if fut is None or fut.done():
             return
+        self.stats.delivery_failures += 1
         reason = str(message.payload)
         exc_type = PartitionedError if "partition" in reason else DeliveryFailure
         fut.set_exception(
@@ -378,6 +462,32 @@ class LegionRuntime:
             raise BindingNotFound(f"Binding Agent found no binding for {loid}", loid=loid)
         return binding
 
+    def _refresh_binding(self, stale: Binding, trace: Any = None):
+        """GetBinding(stale) with per-(loid, address) coalescing.
+
+        When N in-flight calls share one dead address, the first failure
+        starts the refresh and the other N-1 ride its future -- one
+        GetBinding on the wire, one cache insert, no refresh storm.
+        """
+        key = (stale.loid.identity, stale.address)
+        inflight = self._refreshing.get(key)
+        if inflight is not None:
+            binding = yield inflight
+            return binding
+        fut = SimFuture(f"refresh {stale.loid}")
+        self._refreshing[key] = fut
+        self.stats.refreshes += 1
+        try:
+            binding = yield from self._agent_get_binding(stale, trace=trace)
+        except BaseException as exc:
+            self._refreshing.pop(key, None)
+            fut.set_exception(exc)
+            raise
+        self._refreshing.pop(key, None)
+        self.cache.insert(binding)
+        fut.set_result(binding)
+        return binding
+
     # ------------------------------------------------------------------- invoke
 
     def invoke(
@@ -416,21 +526,68 @@ class LegionRuntime:
             )
             span.annotate(target=str(target))
             env = env.with_trace(span.context)
+        policy = self.retry_policy
+        started = self.kernel.now
         try:
-            binding = yield from self.resolve(target, trace=env.trace)
+            binding: Optional[Binding] = None
             last_error: Optional[BaseException] = None
-            for _attempt in range(self.MAX_REFRESH_ATTEMPTS + 1):
+            for attempt in range(1, policy.max_attempts + 1):
+                if attempt > 1:
+                    delay = policy.backoff_delay(
+                        attempt, self.services.rng.stream("retry-backoff")
+                    )
+                    if (
+                        policy.budget is not None
+                        and self.kernel.now - started + delay >= policy.budget
+                    ):
+                        self.stats.budget_exhausted += 1
+                        break
+                    if delay > 0.0:
+                        if tracer is not None and tracer.active:
+                            tracer.instant(
+                                "retry-backoff",
+                                "retry",
+                                parent=env.trace,
+                                component=self.component_label,
+                                attempt=attempt,
+                                delay=round(delay, 3),
+                            )
+                        yield Timeout(delay)
+                self.stats.attempts += 1
+                if binding is None:
+                    # Resolution is part of the attempt: the walk to the
+                    # agent (and onward to the class) crosses the same
+                    # faulty network the call does, so a patient policy
+                    # retries its partitions and losses under the same
+                    # backoff/budget instead of leaking them to the caller.
+                    try:
+                        binding = yield from self.resolve(target, trace=env.trace)
+                    except PartitionedError as exc:
+                        if not policy.retry_partitions:
+                            raise
+                        last_error = exc
+                        continue
+                    except (DeliveryFailure, BindingNotFound) as exc:
+                        if not policy.retry_resolution_failures:
+                            raise
+                        last_error = exc
+                        continue
                 try:
                     value = yield from self.call_address(
                         binding.address, target, method, tuple(args), env, timeout
                     )
+                    if span is not None and attempt > 1:
+                        span.annotate(attempts=attempt)
                     return value
-                except PartitionedError:
+                except PartitionedError as exc:
                     # The destination's site is unreachable; a refreshed
                     # binding cannot help until the partition heals, and
                     # retrying through intermediaries just multiplies traffic.
+                    # A patient policy instead backs off and waits the heal out.
                     self.stats.stale_detected += 1
-                    raise
+                    if not policy.retry_partitions:
+                        raise
+                    last_error = exc
                 except DeliveryFailure as exc:
                     # Stale binding (4.1.4): drop it and ask for a refresh,
                     # passing the stale binding so the agent knows not to
@@ -438,14 +595,19 @@ class LegionRuntime:
                     self.stats.stale_detected += 1
                     self.cache.invalidate_exact(binding)
                     last_error = exc
-                    self.stats.refreshes += 1
                     try:
-                        binding = yield from self._agent_get_binding(
+                        binding = yield from self._refresh_binding(
                             binding, trace=env.trace
                         )
-                        self.cache.insert(binding)
+                        self.stats.rebinds += 1
                     except BindingNotFound as missing:
-                        raise missing from exc
+                        # The agent (or the recovery path behind it) found
+                        # nothing.  Usually fatal; a patient policy keeps the
+                        # old binding and retries -- recovery may still be
+                        # running, or the control path may be partitioned.
+                        if not policy.retry_resolution_failures:
+                            raise missing from exc
+                        last_error = missing
                     except DeliveryFailure:
                         # The refresh leg itself was lost (a lossy network,
                         # not a stale binding).  Keep the old binding and let
@@ -453,8 +615,10 @@ class LegionRuntime:
                         # through, and a genuinely dead address will exhaust
                         # the attempts into BindingNotFound below.
                         pass
+            if isinstance(last_error, PartitionedError):
+                raise last_error
             raise BindingNotFound(
-                f"could not reach {target} after {self.MAX_REFRESH_ATTEMPTS} refreshes",
+                f"could not reach {target} after {policy.max_attempts} attempts",
                 loid=target,
             ) from last_error
         except BaseException as exc:
@@ -479,6 +643,7 @@ class LegionRuntime:
             if self._request_spans:
                 self._finish_request_span(corr, "cancelled")
             if not fut.done():
+                self.stats.cancelled += 1
                 fut.set_exception(DeliveryFailure(f"runtime torn down: {reason}"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,6 +19,7 @@ E9   the distributed-systems principle end to end (5.2)
 E10  bootstrap: bring-up from nothing (4.2.1)
 E11  site autonomy: magistrates/hosts refuse untrusted work (2.2, Fig. 9)
 E12  LOID allocation: uniqueness and structure at scale (3.2)
+E13  availability under scheduled chaos: self-healing runtime (4.1.4)
 ===  ==========================================================
 
 Every module exposes ``run(quick=True, seed=0) -> ExperimentResult``.

@@ -39,6 +39,7 @@ from repro.experiments import (
     e10_bootstrap,
     e11_autonomy,
     e12_loids,
+    e13_availability,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -55,6 +56,7 @@ RUNNERS = {
     "e10": e10_bootstrap.run,
     "e11": e11_autonomy.run,
     "e12": e12_loids.run,
+    "e13": e13_availability.run,
     "a1": ablation_propagation.run,
     "a2": ablation_caching.run,
     "a3": run_ttl,
@@ -80,28 +82,41 @@ class RunOutcome:
     seed: int
 
 
-def _accepts_trace(runner) -> bool:
-    """Whether an experiment runner takes the ``trace`` keyword."""
+def _accepts(runner, keyword: str) -> bool:
+    """Whether an experiment runner takes ``keyword`` as a parameter."""
     try:
-        return "trace" in inspect.signature(runner).parameters
+        return keyword in inspect.signature(runner).parameters
     except (TypeError, ValueError):  # pragma: no cover - builtins only
         return False
 
 
+def _accepts_trace(runner) -> bool:
+    """Whether an experiment runner takes the ``trace`` keyword."""
+    return _accepts(runner, "trace")
+
+
 def run_one(
-    name: str, quick: bool, seed: int, trace: Optional[str] = None
+    name: str,
+    quick: bool,
+    seed: int,
+    trace: Optional[str] = None,
+    faults: Optional[float] = None,
+    report: Optional[str] = None,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
 
-    ``trace`` (an output directory) is forwarded to runners that support
-    causal tracing; the rest run exactly as without the flag.
+    The optional keywords are forwarded only to runners that declare them:
+    ``trace`` (an output directory) to trace-aware experiments, ``faults``
+    (a chaos intensity) and ``report`` (an artifact directory) to
+    fault-aware ones.  The rest run exactly as without the flags.
     """
     started = time.perf_counter()
     try:
         runner = RUNNERS[name]
         kwargs = {"quick": quick, "seed": seed}
-        if trace is not None and _accepts_trace(runner):
-            kwargs["trace"] = trace
+        for keyword, value in (("trace", trace), ("faults", faults), ("report", report)):
+            if value is not None and _accepts(runner, keyword):
+                kwargs[keyword] = value
         result = runner(**kwargs)
         report = result.render()
         experiment = result.experiment
@@ -126,16 +141,23 @@ def run_many(
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
     trace: Optional[str] = None,
+    faults: Optional[float] = None,
+    report: Optional[str] = None,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
 
     ``jobs=1`` runs inline (no pool, no fork) -- this is the reference
     path whose output the parallel path reproduces byte-for-byte.  Traced
-    runs keep that contract: span ids and timestamps are functions of the
-    per-experiment kernel's deterministic schedule, so reports and
-    exported trace files are identical at any ``jobs``.
+    and fault-injected runs keep that contract: span ids, timestamps, and
+    chaos schedules are functions of the per-experiment kernel's
+    deterministic seed, so reports and exported artifacts are identical
+    at any ``jobs``.
     """
-    tasks = [(name, quick, seed, trace) for seed in seeds for name in names]
+    tasks = [
+        (name, quick, seed, trace, faults, report)
+        for seed in seeds
+        for name in names
+    ]
     if jobs <= 1 or len(tasks) <= 1:
         return [run_one(*task) for task in tasks]
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
@@ -196,6 +218,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(default: traces/)"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "chaos intensity (fault events per 1000 simulated time units) "
+            "for fault-aware experiments: e13 then sweeps [0, RATE] "
+            "instead of its default levels"
+        ),
+    )
+    parser.add_argument(
+        "--report",
+        nargs="?",
+        const="reports",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write machine-readable result artifacts (availability/FaultLog "
+            "JSON) under DIR (default: reports/) for experiments that "
+            "support them"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -216,7 +261,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     seeds = args.seeds if args.seeds else [args.seed]
     outcomes = run_many(
-        names, quick=not args.full, seeds=seeds, jobs=args.jobs, trace=args.trace
+        names,
+        quick=not args.full,
+        seeds=seeds,
+        jobs=args.jobs,
+        trace=args.trace,
+        faults=args.faults,
+        report=args.report,
     )
 
     for outcome in outcomes:

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for LegionSystem testbeds.
+
+The paper's failure story (section 4.1.4) is that stale bindings and
+lost processes are *expected*: they cost repair traffic, never wrong
+answers.  This package makes that claim testable at scale by turning
+failure into a first-class, seeded workload:
+
+* :class:`~repro.faults.plan.FaultPlan` -- a schedule of fault events
+  drawn from a seeded RNG stream (whole-host crashes, single-object
+  crashes, transient link-class degradation, timed site partitions);
+* :class:`~repro.faults.driver.ChaosDriver` -- applies a plan against a
+  running :class:`~repro.system.legion.LegionSystem` on simulated time;
+* :class:`~repro.faults.log.FaultLog` -- records injected incidents and
+  the recovery layer's observed reactions, so experiments reconcile the
+  two and measure time-to-recover;
+* :class:`~repro.faults.recovery.RecoverySweeper` -- periodic magistrate
+  sweeps (the proactive half of recovery; the reactive half rides the
+  runtime's stale-binding path).
+
+Everything runs on the simulation kernel's clock and RNG streams, so a
+chaos run is exactly as reproducible as a fault-free one.
+"""
+
+from repro.faults.driver import ChaosDriver
+from repro.faults.log import FaultIncident, FaultLog
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.recovery import RecoverySweeper
+
+__all__ = [
+    "ChaosDriver",
+    "FaultEvent",
+    "FaultIncident",
+    "FaultKind",
+    "FaultLog",
+    "FaultPlan",
+    "RecoverySweeper",
+]

@@ -290,6 +290,33 @@ class HostObjectImpl(LegionObjectImpl):
         """Open/close the host to new activations (drain for maintenance)."""
         self.accepting = bool(accepting)
 
+    @legion_method("bool HasProcess(LOID)")
+    def has_process(self, loid: LOID) -> bool:
+        """Liveness probe: does this host run a live process for ``loid``?
+
+        Magistrates use it before recovery: a reply of False (or a
+        delivery failure, the host itself being dead) licenses
+        reactivation elsewhere; True means the earlier failure was
+        transient and the recorded address still works.
+        """
+        entry = self.processes.find(loid)
+        return entry is not None and not entry.crashed
+
+    @legion_method("bytes CheckpointObject(LOID)")
+    def checkpoint_object(self, loid: LOID) -> bytes:
+        """SaveState() without teardown: the process keeps running.
+
+        The magistrate stores the returned bytes as a recovery OPR, so a
+        later host crash can reactivate the object from this point
+        instead of losing state with the process.
+        """
+        entry = self.processes.get(loid)
+        if entry.crashed:
+            raise HostError(
+                f"{loid} crashed on host {self.host_id}; nothing to checkpoint"
+            )
+        return entry.server.impl.save_state()
+
     # -------------------------------------------------------------------- reaping
 
     @legion_method("list Reap()")

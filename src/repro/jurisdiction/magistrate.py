@@ -35,7 +35,18 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import LifecycleError, NoCapacity, RequestRefused, UnknownObject
+from repro.errors import (
+    BindingNotFound,
+    DeliveryFailure,
+    InvocationTimeout,
+    LegionError,
+    LifecycleError,
+    NoCapacity,
+    PartitionedError,
+    ProcessKilled,
+    RequestRefused,
+    UnknownObject,
+)
 from repro.core.method import InvocationContext
 from repro.core.object_base import LegionObjectImpl, legion_method
 from repro.jurisdiction.jurisdiction import Jurisdiction
@@ -43,6 +54,7 @@ from repro.naming.binding import Binding
 from repro.naming.loid import LOID
 from repro.net.address import ObjectAddress
 from repro.persistence.opr import OPRecord
+from repro.simkernel.futures import SimFuture
 
 
 class ObjectState(enum.Enum):
@@ -69,6 +81,10 @@ class ManagedObject:
     #: For system-level replicated objects (section 4.3): the (host LOID,
     #: Object Address) of each replica process this magistrate runs.
     replicas: List[Tuple[LOID, ObjectAddress]] = field(default_factory=list)
+    #: True when the object went Inert through failure (demotion), not a
+    #: clean Deactivate; the next successful activation is a *recovery*
+    #: and is reported to ``services.fault_log`` as such.
+    lost: bool = False
 
 
 class MagistrateImpl(LegionObjectImpl):
@@ -92,6 +108,13 @@ class MagistrateImpl(LegionObjectImpl):
         #: Standing placement suggestions from Scheduling Agents: object
         #: identity → suggested Host Object, consumed at next activation.
         self.placement_suggestions: Dict[Tuple[int, int], LOID] = {}
+        #: Host identities believed crashed (probe failed hard).  Placement
+        #: skips them; re-adopting the host via AddHost clears the mark.
+        self.suspect_hosts: set = set()
+        #: object identity → in-flight recovery future, so concurrent
+        #: RecoverObject calls for one lost object coalesce onto a single
+        #: probe + reactivation instead of double-activating.
+        self._recovering: Dict[Tuple[int, int], SimFuture] = {}
 
     # --------------------------------------------------------------------- hosts
 
@@ -100,6 +123,7 @@ class MagistrateImpl(LegionObjectImpl):
         """Adopt a Host Object into this jurisdiction."""
         if all(h.loid != host.loid for h in self.hosts):
             self.hosts.append(host)
+        self.suspect_hosts.discard(host.loid.identity)
         self.runtime.seed_binding(host)
 
     @legion_method("RemoveHost(LOID)")
@@ -145,6 +169,8 @@ class MagistrateImpl(LegionObjectImpl):
                 raise RequestRefused(
                     f"host {hint} is not in jurisdiction {self.jurisdiction.name}"
                 )
+            if hint.identity in self.suspect_hosts:
+                raise RequestRefused(f"host {hint} is suspected failed")
             return hint
         if not self.hosts:
             raise NoCapacity(f"jurisdiction {self.jurisdiction.name} has no hosts")
@@ -154,14 +180,68 @@ class MagistrateImpl(LegionObjectImpl):
         if self.placement == "first-fit":
             chosen = yield from self._first_fit_host(env)
             return chosen
-        self._host_rr = (self._host_rr + 1) % len(self.hosts)
-        return self.hosts[self._host_rr].loid
+        if not self.suspect_hosts:
+            self._host_rr = (self._host_rr + 1) % len(self.hosts)
+            return self.hosts[self._host_rr].loid
+        # Same rotation, skipping suspects (the no-suspects arithmetic above
+        # is kept verbatim so fault-free placement patterns are unchanged).
+        for _ in range(len(self.hosts)):
+            self._host_rr = (self._host_rr + 1) % len(self.hosts)
+            candidate = self.hosts[self._host_rr]
+            if candidate.loid.identity not in self.suspect_hosts:
+                return candidate.loid
+        raise NoCapacity(
+            f"every host in jurisdiction {self.jurisdiction.name} is suspected failed"
+        )
+
+    def _probe_host(self, host_loid: LOID, method: str, args: tuple, env):
+        """One direct call, classified as liveness evidence.
+
+        Returns ``("alive", value)``, ``("dead", None)``, or
+        ``("unknown", None)``.  A single un-retried ``call_address`` keeps
+        the evidence unambiguous: only a hard bounce (no endpoint
+        registered at the host's address -- the Host Object is down) counts
+        as dead.  Timeouts and partitions are *not* proof: on a lossy or
+        split network a live host looks exactly the same, and declaring it
+        dead would leak capacity (or split-brain a recovery), so those
+        return "unknown" and the caller re-probes on a later sweep.
+        """
+        try:
+            binding = yield from self.runtime.resolve(host_loid, trace=env.trace)
+        except ProcessKilled:
+            raise  # the probing process is being torn down, not evidence
+        except LegionError:
+            return ("unknown", None)  # control-path trouble, not host evidence
+        try:
+            value = yield from self.runtime.call_address(
+                binding.address, host_loid, method, args, env
+            )
+            return ("alive", value)
+        except (PartitionedError, InvocationTimeout):
+            return ("unknown", None)
+        except DeliveryFailure:
+            self.runtime.cache.invalidate_exact(binding)
+            return ("dead", None)
+        except ProcessKilled:
+            raise
+        except LegionError:
+            return ("unknown", None)
+
+    def _probe_host_state(self, host: Binding, env):
+        """GetState with failure classification: None means the host is
+        provably dead (now a suspect) or unreachable; the caller skips it."""
+        status, state = yield from self._probe_host(host.loid, "GetState", (), env)
+        if status == "dead":
+            self.suspect_hosts.add(host.loid.identity)
+        return state if status == "alive" else None
 
     def _first_fit_host(self, env):
         """The first host (adoption order) that is accepting with a slot."""
         for host in self.hosts:
-            state = yield from self.runtime.invoke(host.loid, "GetState", env=env)
-            if state.accepting and state.free_slots > 0:
+            if host.loid.identity in self.suspect_hosts:
+                continue
+            state = yield from self._probe_host_state(host, env)
+            if state is not None and state.accepting and state.free_slots > 0:
                 return host.loid
         raise NoCapacity(
             f"no accepting host with capacity in {self.jurisdiction.name}"
@@ -171,8 +251,10 @@ class MagistrateImpl(LegionObjectImpl):
         best: Optional[LOID] = None
         best_load = float("inf")
         for host in self.hosts:
-            state = yield from self.runtime.invoke(host.loid, "GetState", env=env)
-            if state.accepting and state.process_count < best_load:
+            if host.loid.identity in self.suspect_hosts:
+                continue
+            state = yield from self._probe_host_state(host, env)
+            if state is not None and state.accepting and state.process_count < best_load:
                 best_load = state.process_count
                 best = host.loid
         if best is None:
@@ -321,6 +403,17 @@ class MagistrateImpl(LegionObjectImpl):
         record.state = ObjectState.ACTIVE
         record.host = host
         record.address = address
+        if record.lost:
+            # This activation repaired a failure (demotion), whichever path
+            # requested it -- RecoverObject, a sweep, or a plain Activate
+            # after the class cleared the stale row.
+            record.lost = False
+            log = getattr(self.services, "fault_log", None)
+            if log is not None:
+                log.observe(
+                    self.services.kernel.now, "object-recovered", str(loid),
+                    detail=f"reactivated on {host}",
+                )
         yield from self._notify_class(
             record, "NoteActivated", loid, address, self.loid, env=env
         )
@@ -351,6 +444,156 @@ class MagistrateImpl(LegionObjectImpl):
         yield from self._notify_class(
             record, "NoteDeactivated", loid, self.loid, env=env
         )
+
+    # ------------------------------------------------------------------- recovery
+
+    @legion_method("Checkpoint(LOID)")
+    def checkpoint(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Snapshot a running object's state into the vault, without
+        stopping it.  A later host crash reactivates from this point
+        (RecoverObject) instead of losing the state with the process."""
+        record = self._get_managed(loid)
+        if record.state is ObjectState.INERT:
+            return  # the vault OPR already IS the latest state
+        if record.replicas:
+            raise LifecycleError(
+                f"{loid} is a replica group: its replicas carry the "
+                "redundancy; there is no single process to checkpoint"
+            )
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        state = yield from self.runtime.invoke(
+            record.host, "CheckpointObject", loid, env=env
+        )
+        assert record.template is not None
+        self.jurisdiction.vault.store_opr(record.template.with_state(state))
+
+    @legion_method("address RecoverObject(LOID)")
+    def recover_object(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Reactivate a lost object on a surviving host; returns its address.
+
+        The class calls this when a caller reports a stale binding for an
+        object this magistrate records as Active.  The record alone cannot
+        be trusted -- the process may be fine (the caller hit a transient
+        fault) or gone (its host crashed) -- so the recorded host is probed
+        first.  Concurrent calls for one object coalesce onto a single
+        probe + reactivation.
+        """
+        record = self._get_managed(loid)
+        inflight = self._recovering.get(loid.identity)
+        if inflight is not None:
+            address = yield inflight
+            return address
+        fut = SimFuture(f"recover {loid}")
+        self._recovering[loid.identity] = fut
+        try:
+            address = yield from self._recover_object(record, ctx)
+        except BaseException as exc:
+            self._recovering.pop(loid.identity, None)
+            fut.set_exception(exc)
+            raise
+        self._recovering.pop(loid.identity, None)
+        fut.set_result(address)
+        return address
+
+    def _recover_object(self, record: ManagedObject, ctx):
+        loid = record.loid
+        lost_host = record.host
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        if record.state is ObjectState.ACTIVE:
+            if record.address is None and record.replicas:
+                raise RequestRefused(
+                    f"{loid} is a replica group; its class manages the group address"
+                )
+            alive = False
+            if lost_host is not None:
+                # Work off the snapshot: the probe yields, and a concurrent
+                # sweep may demote this very record (record.host -> None)
+                # while we wait.
+                status, value = yield from self._probe_host(
+                    lost_host, "HasProcess", (loid,), env
+                )
+                if status == "unknown":
+                    # Cannot judge liveness (partition, loss); recovering
+                    # now could split-brain the object.  Let the caller
+                    # retry once the network settles.
+                    raise RequestRefused(
+                        f"cannot prove {loid} lost: host {lost_host} unreachable"
+                    )
+                if status == "dead":
+                    self.suspect_hosts.add(lost_host.identity)
+                alive = status == "alive" and bool(value)
+            if alive and record.state is ObjectState.ACTIVE:
+                return record.address  # transient fault; the address works
+            if record.state is ObjectState.ACTIVE:
+                self._demote_to_inert(record, "process lost")
+        # Inert now: reactivate from the persisted OPR -- but keep the
+        # checkpoint, because activate_on consumes the vault copy and a
+        # second crash before the next checkpoint must not lose the state.
+        checkpoint = None
+        if self.jurisdiction.vault.holds(loid):
+            checkpoint = self.jurisdiction.vault.load_opr(loid)
+        address = yield from self.activate_on(loid, None, ctx=ctx)
+        if checkpoint is not None:
+            self.jurisdiction.vault.store_opr(checkpoint)
+        return address
+
+    @legion_method("list SweepHosts()")
+    def sweep_hosts(self, *, ctx: Optional[InvocationContext] = None):
+        """The reap sweep: probe every adopted host; when one is provably
+        dead, demote its resident objects and reactivate them elsewhere.
+        Returns the LOIDs of hosts newly found dead."""
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        failed: List[LOID] = []
+        for host in list(self.hosts):
+            status, _state = yield from self._probe_host(
+                host.loid, "GetState", (), env
+            )
+            if status == "alive":
+                # Also clears a false suspicion, so capacity marked dead in
+                # error returns to the placement pool.
+                self.suspect_hosts.discard(host.loid.identity)
+                continue
+            if status == "unknown":
+                continue  # unreachable or lossy, not provably dead
+            if host.loid.identity not in self.suspect_hosts:
+                self.suspect_hosts.add(host.loid.identity)
+                failed.append(host.loid)
+            residents = [
+                r
+                for r in self.managed.values()
+                if r.state is ObjectState.ACTIVE and r.host == host.loid
+            ]
+            for record in residents:
+                self._demote_to_inert(record, f"host {host.loid} lost")
+                try:
+                    yield from self.recover_object(record.loid, ctx=ctx)
+                except ProcessKilled:
+                    raise  # the sweeping process itself is being torn down
+                except Exception:  # noqa: BLE001 - no surviving capacity yet
+                    # Leave the record Inert; a later sweep (or the class's
+                    # GetBinding-on-stale path) retries the reactivation.
+                    pass
+        return failed
+
+    def _demote_to_inert(self, record: ManagedObject, reason: str) -> None:
+        """Mark a lost Active object Inert, recoverable from the vault.
+
+        Prefers an existing checkpoint OPR; falls back to the creation
+        template (state since the last checkpoint is lost, but the object
+        survives -- better than dropping it from management).
+        """
+        loid = record.loid
+        if not self.jurisdiction.vault.holds(loid) and record.template is not None:
+            self.jurisdiction.vault.store_opr(record.template)
+        record.state = ObjectState.INERT
+        record.host = None
+        record.address = None
+        record.lost = True
+        log = getattr(self.services, "fault_log", None)
+        if log is not None:
+            log.observe(
+                self.services.kernel.now, "object-demoted", str(loid), detail=reason
+            )
 
     # -------------------------------------------------------------------- deletion
 
@@ -456,10 +699,13 @@ class MagistrateImpl(LegionObjectImpl):
             record = self.managed.get(loid.identity)
             if record is None:
                 continue
+            if record.state is ObjectState.ACTIVE and record.host != host:
+                # The object was already recovered onto another host before
+                # this report arrived; demoting it now would kill a healthy
+                # process's record.  The report is stale -- log only.
+                continue
             if self.jurisdiction.vault.holds(loid):
-                record.state = ObjectState.INERT
-                record.host = None
-                record.address = None
+                self._demote_to_inert(record, reason or "crashed")
             else:
                 del self.managed[loid.identity]
 

@@ -21,6 +21,7 @@ from repro.experiments import (
     e10_bootstrap,
     e11_autonomy,
     e12_loids,
+    e13_availability,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = [
     e10_bootstrap,
     e11_autonomy,
     e12_loids,
+    e13_availability,
     ablation_propagation,
     ablation_caching,
 ]

@@ -23,12 +23,13 @@ def test_run_one_returns_primitives():
 
 
 def test_parallel_matches_sequential():
-    names = ["e1", "e12"]
+    # e13 rides along: chaos runs must be byte-identical across job counts.
+    names = ["e1", "e12", "e13"]
     seq = run_many(names, quick=True, seeds=(0,), jobs=1)
     par = run_many(names, quick=True, seeds=(0,), jobs=2)
     assert [o.report for o in par] == [o.report for o in seq]
     assert [o.passed for o in par] == [o.passed for o in seq]
-    assert [(o.name, o.seed) for o in par] == [("e1", 0), ("e12", 0)]
+    assert [(o.name, o.seed) for o in par] == [("e1", 0), ("e12", 0), ("e13", 0)]
 
 
 def test_multi_seed_ordering():

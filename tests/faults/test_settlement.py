@@ -1,0 +1,94 @@
+"""Property: no request pends forever, whatever the network does.
+
+Under seeded message drops and timed partitions, every request a runtime
+sends settles exactly one way -- reply, timeout, delivery failure, or
+cancellation -- and nothing is left in any ``_pending`` table once the
+kernel drains.  This pins the RuntimeStats reconciliation documented on
+:class:`repro.core.runtime.RuntimeStats`.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.driver import ChaosDriver
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultPlan
+from repro.net.latency import LinkClass
+from repro.system.legion import LegionSystem, SiteSpec
+from repro.workloads.apps import CounterImpl
+from repro.workloads.generators import TrafficDriver
+
+
+def _all_runtimes(system, clients):
+    servers = (
+        list(system.host_servers.values())
+        + list(system.magistrates.values())
+        + list(system.agents.values())
+        + list(clients)
+    )
+    for host_server in system.host_servers.values():
+        for entry in host_server.impl.processes.running():
+            servers.append(entry.server)
+    return [s.runtime for s in servers]
+
+
+def _reconcile(runtime):
+    stats = runtime.stats
+    settled = (
+        stats.replies_received
+        + stats.timeouts
+        + stats.delivery_failures
+        + stats.cancelled
+    )
+    return stats.requests_sent == settled and not runtime._pending
+
+
+@settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    seed=st.integers(0, 2**16),
+    drop_wide=st.floats(0.0, 0.6),
+    drop_site=st.floats(0.0, 0.4),
+    partition_at=st.one_of(st.none(), st.floats(1.0, 80.0)),
+)
+def test_every_request_settles(seed, drop_wide, drop_site, partition_at):
+    system = LegionSystem.build(
+        [SiteSpec("east", hosts=2), SiteSpec("west", hosts=2)], seed=seed
+    )
+    cls = system.create_class("Counter", factory=CounterImpl)
+    bindings = [system.create_instance(cls.loid) for _ in range(3)]
+    clients = [
+        system.new_client(f"c{i}", site=site)
+        for i, site in enumerate(["east", "west", "east"])
+    ]
+
+    system.network.drop_probability[LinkClass.WIDE_AREA] = drop_wide
+    system.network.drop_probability[LinkClass.SAME_SITE] = drop_site
+    if partition_at is not None:
+        driver = ChaosDriver(system, FaultPlan(), FaultLog())
+        system.kernel.call_later(
+            partition_at, lambda: driver.partition("east", "west", duration=60.0)
+        )
+
+    rng = system.services.rng.stream("settlement-targets")
+    traffic = TrafficDriver(
+        system.kernel,
+        clients,
+        choose_target=lambda _c: bindings[rng.randrange(len(bindings))].loid,
+        method="Get",
+        calls_per_client=8,
+        think_time=5.0,
+        timeout=150.0,
+    )
+    stats_future = traffic.start()
+    system.kernel.run()
+
+    stats = stats_future.result()
+    assert stats.calls_issued == len(clients) * 8
+    assert stats.calls_succeeded + stats.calls_failed == stats.calls_issued
+
+    for runtime in _all_runtimes(system, clients):
+        assert _reconcile(runtime), (
+            f"{runtime!r} leaked a request: {runtime.stats}"
+        )
