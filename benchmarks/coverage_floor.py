@@ -1,0 +1,95 @@
+"""Measure line coverage of ``src/repro`` with the stdlib only.
+
+CI gates on ``pytest --cov=repro --cov-fail-under=<floor>``; this script
+is the no-dependencies twin used to *calibrate* that floor on machines
+without coverage.py installed.  It traces the test run with
+``sys.settrace`` (line events, restricted to frames under ``src/repro``)
+and reports executed lines over compilable lines, per ``co_lines()`` of
+every code object.
+
+The measurement is deliberately conservative relative to coverage.py:
+``# pragma: no cover`` blocks are *counted as uncovered* here but
+excluded there, so a floor derived from this number underestimates what
+CI will measure.  Usage:
+
+    PYTHONPATH=src python benchmarks/coverage_floor.py [pytest args...]
+
+(default pytest args: ``-q tests``).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+from types import CodeType
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src", "repro"))
+
+executed: dict[str, set[int]] = {}
+_in_src: dict[CodeType, bool] = {}
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    code = frame.f_code
+    wanted = _in_src.get(code)
+    if wanted is None:
+        wanted = code.co_filename.startswith(SRC)
+        _in_src[code] = wanted
+        if wanted:
+            executed.setdefault(code.co_filename, set())
+    return _local_trace if wanted else None
+
+
+def _compilable_lines(path: str) -> set[int]:
+    """Every line ``co_lines()`` attributes code to, over the whole file."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    lines: set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _start, _end, lineno in code.co_lines():
+            if lineno is not None:
+                lines.add(lineno)
+        stack.extend(c for c in code.co_consts if isinstance(c, CodeType))
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    sys.settrace(_global_trace)
+    try:
+        rc = pytest.main(argv or ["-q", "tests"])
+    finally:
+        sys.settrace(None)
+    if rc != 0:
+        print(f"pytest exited {rc}; coverage below is for the partial run")
+
+    total = covered = 0
+    rows = []
+    for path in sorted(glob.glob(os.path.join(SRC, "**", "*.py"), recursive=True)):
+        lines = _compilable_lines(path)
+        hit = executed.get(os.path.abspath(path), set()) & lines
+        total += len(lines)
+        covered += len(hit)
+        rows.append((os.path.relpath(path, SRC), len(hit), len(lines)))
+
+    width = max(len(name) for name, _, _ in rows)
+    for name, hit, of in rows:
+        pct = 100.0 * hit / of if of else 100.0
+        print(f"{name:<{width}}  {hit:>5}/{of:<5}  {pct:6.2f}%")
+    pct = 100.0 * covered / total if total else 0.0
+    print(f"{'TOTAL':<{width}}  {covered:>5}/{total:<5}  {pct:6.2f}%")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

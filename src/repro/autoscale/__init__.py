@@ -1,0 +1,28 @@
+"""Load-adaptive class cloning (closing the loop on section 5.2.2).
+
+The paper observes that clones "arbitrarily reduce the load" on a hot
+class but leaves *when* to clone to the administrator.  This package
+closes the loop on simulated time: a :class:`~repro.autoscale.monitor.
+LoadMonitor` turns the metrics counters (and, optionally, causal-trace
+ledgers) into per-component request rates and queue depths, and a
+:class:`~repro.autoscale.controller.CloneController` spawns clones onto
+least-loaded hosts above a high-water mark and drains/retires them below
+a low-water mark, with hysteresis and a cooldown against flapping.
+"""
+
+from repro.autoscale.controller import (
+    AutoscaleConfig,
+    CloneController,
+    build_placement_agent,
+)
+from repro.autoscale.monitor import LoadMonitor, LoadSample
+from repro.autoscale.router import ClonePoolRouter
+
+__all__ = [
+    "AutoscaleConfig",
+    "CloneController",
+    "ClonePoolRouter",
+    "LoadMonitor",
+    "LoadSample",
+    "build_placement_agent",
+]

@@ -1,0 +1,97 @@
+"""LoadMonitor: request rates and queue depths from existing telemetry.
+
+The monitor owns no wires and sends no messages: it diffs the cumulative
+:class:`~repro.metrics.counters.MetricsRegistry` counters between samples
+to get per-component request *rates* (requests per simulated ms), and
+reads server-side queue depths (``ObjectServer.in_flight``) straight out
+of the host process tables.  Both sources already exist for the Section 5
+experiments, so observing the system costs the system nothing -- the
+controller's probes and spawns are the only traffic autoscaling adds.
+
+A trace-derived cross-check is available too: when a causal trace is
+active, :meth:`LoadMonitor.rates_from_ledger` reads the same rates out of
+a :class:`~repro.trace.ledger.LoadLedger`, span by span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.metrics.counters import ComponentKind
+from repro.trace.ledger import LoadLedger
+
+
+@dataclass
+class LoadSample:
+    """One observation: rates and queues at a simulated instant."""
+
+    time: float
+    #: component name → requests per simulated ms since the last sample.
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: component name → requests dispatched but not yet replied to.
+    queues: Dict[str, int] = field(default_factory=dict)
+
+    def pool_rate(self, names: Iterable[str]) -> float:
+        """Aggregate rate over a set of components (a clone pool)."""
+        return sum(self.rates.get(name, 0.0) for name in names)
+
+    def pool_queue(self, names: Iterable[str]) -> int:
+        """Aggregate queue depth over a set of components."""
+        return sum(self.queues.get(name, 0) for name in names)
+
+
+class LoadMonitor:
+    """Sample per-component load for one component kind.
+
+    ``sample()`` is deterministic given the simulation state: it reads
+    the shared registry and the process tables, both of which evolve only
+    on simulated events.
+    """
+
+    def __init__(self, system, kind: ComponentKind = ComponentKind.CLASS_OBJECT) -> None:
+        self.system = system
+        self.kind = kind
+        self._last_counts: Dict[str, int] = {}
+        self._last_time: float = system.kernel.now
+
+    def sample(self) -> LoadSample:
+        """Rates since the previous sample, plus current queue depths."""
+        now = self.system.kernel.now
+        counts = self.system.services.metrics.snapshot(self.kind)
+        window = now - self._last_time
+        rates: Dict[str, float] = {}
+        if window > 0:
+            for name, count in counts.items():
+                delta = count - self._last_counts.get(name, 0)
+                if delta < 0:
+                    delta = count  # counters were reset mid-flight; re-baseline
+                rates[name] = delta / window
+        self._last_counts = counts
+        self._last_time = now
+        return LoadSample(time=now, rates=rates, queues=self.queue_depths())
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Server-side in-flight dispatch counts for live components."""
+        queues: Dict[str, int] = {}
+        for host_id in sorted(self.system.host_servers):
+            host_server = self.system.host_servers[host_id]
+            for entry in host_server.impl.processes.running():
+                server = entry.server
+                if server.component.kind is self.kind and server.active:
+                    queues[server.component.name] = server.in_flight
+        return queues
+
+    def rates_from_ledger(
+        self, ledger: LoadLedger, prefix: Optional[str] = None
+    ) -> Dict[str, float]:
+        """The trace's view of the same rates (component name → req/ms).
+
+        Labels in the ledger are "kind:name"; this strips the kind prefix
+        so the keys line up with :meth:`sample`'s.
+        """
+        prefix = prefix if prefix is not None else f"{self.kind.value}:"
+        return {
+            comp[len(prefix):]: rate
+            for comp, rate in ledger.rates(prefix).items()
+        }

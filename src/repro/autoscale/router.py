@@ -1,0 +1,79 @@
+"""ClonePoolRouter: client-side traffic spreading over a clone pool.
+
+E4's lesson stands: server-side forwarding keeps naive clients correct,
+but every envelope still lands on the parent first.  Bounded load needs
+clone-aware clients.  The router keeps a client's view of one class's
+clone pool fresh -- polling ``CloneEpoch()`` (one cheap call) and
+re-fetching ``GetClonePool()`` only when the epoch moved -- and deals
+requests over the pool round-robin.  Fetched bindings are seeded into
+the client's cache, so routed calls go direct instead of resolving
+through the binding hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import LegionError, ProcessKilled
+from repro.naming.binding import Binding
+from repro.naming.loid import LOID
+from repro.simkernel.kernel import Timeout
+
+
+class ClonePoolRouter:
+    """One client's rotating view of one class's clone pool."""
+
+    def __init__(self, client, class_binding: Binding, refresh: float = 20.0) -> None:
+        self.client = client
+        self.class_binding = class_binding
+        self.refresh = refresh
+        self.pool: List[Binding] = [class_binding]
+        self.epoch: Optional[int] = None
+        self._rr = 0
+        self._proc = None
+
+    def choose(self) -> LOID:
+        """The next pool member's LOID (round-robin)."""
+        member = self.pool[self._rr % len(self.pool)]
+        self._rr += 1
+        return member.loid
+
+    def start(self) -> None:
+        """Spawn the refresh loop (idempotent)."""
+        if self._proc is None:
+            self._proc = self.client.services.kernel.spawn_process(
+                self._loop(), name=f"clone-pool-{self.client.loid}"
+            )
+
+    def stop(self) -> None:
+        """Kill the refresh loop."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc = None
+
+    def _loop(self):
+        while True:
+            try:
+                yield from self.refresh_once()
+            except ProcessKilled:
+                raise
+            except LegionError:
+                pass  # the parent is busy or unreachable; keep the old pool
+            yield Timeout(self.refresh)
+
+    def refresh_once(self):
+        """One poll: re-fetch the pool only if the epoch moved."""
+        epoch = yield from self.client.runtime.invoke(
+            self.class_binding.loid, "CloneEpoch"
+        )
+        if epoch == self.epoch:
+            return False
+        epoch, pool = yield from self.client.runtime.invoke(
+            self.class_binding.loid, "GetClonePool"
+        )
+        for binding in pool:
+            self.client.runtime.seed_binding(binding)
+        self.pool = pool
+        self.epoch = epoch
+        self._rr %= len(pool)
+        return True

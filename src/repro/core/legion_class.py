@@ -34,6 +34,7 @@ from repro.errors import (
     BindingNotFound,
     DeliveryFailure,
     InvocationFailed,
+    LegionError,
     NoCapacity,
     ObjectDeleted,
     ObjectModelError,
@@ -54,10 +55,17 @@ from repro.naming.binding import Binding, NEVER_EXPIRES
 from repro.naming.loid import LOID
 from repro.persistence.opr import OPRecord
 from repro.security.environment import CallEnvironment
+from repro.simkernel.kernel import Timeout
 
 #: Factory-registry name under which the class-object implementation itself
 #: is registered; Derive() creates new class objects through it.
 CLASS_OBJECT_FACTORY = "legion.class-object"
+
+#: RetireClone() drain loop: poll the clone's PendingDispatches() every
+#: ``RETIRE_POLL`` simulated ms, giving up after ``RETIRE_DRAIN_BUDGET``
+#: (a crashed clone must not wedge the retirement forever).
+RETIRE_POLL = 2.0
+RETIRE_DRAIN_BUDGET = 200.0
 
 
 class ClassObjectImpl(LegionObjectImpl):
@@ -110,6 +118,9 @@ class ClassObjectImpl(LegionObjectImpl):
         #: new creations; round-robin when non-empty.
         self.clones: List[Binding] = []
         self._clone_rr = 0
+        #: Bumped whenever the clone pool changes membership or addresses;
+        #: clients cache GetClonePool() results keyed by this epoch.
+        self.clone_epoch = 0
 
     # ------------------------------------------------------------------ identity
 
@@ -127,6 +138,10 @@ class ClassObjectImpl(LegionObjectImpl):
             "base_chain",
             "bases",
             "_next_sequence",
+            "table",
+            "clones",
+            "_clone_rr",
+            "clone_epoch",
         ]
 
     def _allocate_instance_loid(self) -> LOID:
@@ -204,7 +219,7 @@ class ClassObjectImpl(LegionObjectImpl):
         if self.clones and not hints.get("no_delegate"):
             # Section 5.2.2: pass new instantiation requests to a clone.
             clone = self.clones[self._clone_rr % len(self.clones)]
-            self._clone_rr += 1
+            self._clone_rr = (self._clone_rr + 1) % len(self.clones)
             binding = yield from self.runtime.invoke(
                 clone.loid, "Create", hints, env=env
             )
@@ -354,7 +369,7 @@ class ClassObjectImpl(LegionObjectImpl):
 
         if self.clones and not options.get("no_delegate"):
             clone = self.clones[self._clone_rr % len(self.clones)]
-            self._clone_rr += 1
+            self._clone_rr = (self._clone_rr + 1) % len(self.clones)
             binding = yield from self.runtime.invoke(
                 clone.loid, "Derive", name, options, env=env
             )
@@ -636,6 +651,14 @@ class ClassObjectImpl(LegionObjectImpl):
         row.object_address = address
         if magistrate not in row.current_magistrates:
             row.current_magistrates.append(magistrate)
+        if any(c.loid == loid for c in self.clones):
+            # A clone came back at a (possibly new) address: refresh the
+            # routing pool in place so delegation follows it.
+            self.clones = [
+                self._binding_for(loid, address) if c.loid == loid else c
+                for c in self.clones
+            ]
+            self.clone_epoch += 1
         self._propagate("add-binding", self._binding_for(loid, address))
 
     @legion_method("NoteDeactivated(LOID, LOID)")
@@ -647,6 +670,7 @@ class ClassObjectImpl(LegionObjectImpl):
         row.object_address = None
         if magistrate not in row.current_magistrates:
             row.current_magistrates.append(magistrate)
+        self._drop_clone(loid)
         self._propagate("invalidate", loid)
 
     @legion_method("NoteMigrated(LOID, LOID, LOID)")
@@ -660,6 +684,7 @@ class ClassObjectImpl(LegionObjectImpl):
         if target not in row.current_magistrates:
             row.current_magistrates.append(target)
         row.object_address = None
+        self._drop_clone(loid)
         self._propagate("invalidate", loid)
 
     @legion_method("NoteCopied(LOID, LOID)")
@@ -771,6 +796,28 @@ class ClassObjectImpl(LegionObjectImpl):
 
     # --------------------------------------------------------------------- cloning
 
+    def _normalize_clone_rr(self) -> None:
+        """Keep the round-robin index inside the (possibly shrunken) pool.
+
+        Without this, retiring clones leaves ``_clone_rr`` pointing past
+        the list, and the modulo restart skews which survivor soaks up
+        the next burst of requests.
+        """
+        size = len(self.clones)
+        self._clone_rr = self._clone_rr % size if size else 0
+
+    def _clones_changed(self) -> None:
+        """The pool changed membership: bump the epoch, re-bound the index."""
+        self.clone_epoch += 1
+        self._normalize_clone_rr()
+
+    def _drop_clone(self, loid: LOID) -> None:
+        """Remove ``loid`` from the routing pool if it is a clone."""
+        survivors = [c for c in self.clones if c.loid != loid]
+        if len(survivors) != len(self.clones):
+            self.clones = survivors
+            self._clones_changed()
+
     @legion_method("binding Clone()")
     def clone_default(self, *, ctx: Optional[InvocationContext] = None):
         """Clone() with no options."""
@@ -790,12 +837,58 @@ class ClassObjectImpl(LegionObjectImpl):
         name = opts.pop("name", f"{self.class_name}.clone{len(self.clones) + 1}")
         binding = yield from self.derive_with_options(name, opts, ctx=ctx)
         self.clones.append(binding)
+        self._clones_changed()
+        self._propagate("add-binding", binding)
         return binding
+
+    @legion_method("bool RetireClone(LOID)")
+    def retire_clone(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """Drain a clone and fold it back into an OPR (autoscale scale-down).
+
+        The clone leaves the routing pool immediately (no new work reaches
+        it through us), then we poll its PendingDispatches() until its
+        in-flight work drains (bounded by ``RETIRE_DRAIN_BUDGET``), and
+        finally ask a Current Magistrate to Deactivate() it -- SaveState()
+        into an OPR, so a straggler reference can still resurrect it
+        through the ordinary GetBinding() path.  Returns True when the
+        OPR reconciliation succeeded.
+        """
+        if all(c.loid != loid for c in self.clones):
+            raise UnknownObject(f"{loid} is not a clone of {self.class_name}")
+        self._drop_clone(loid)
+        self._propagate("invalidate", loid)
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        deadline = self.services.kernel.now + RETIRE_DRAIN_BUDGET
+        while True:
+            try:
+                pending = yield from self.runtime.invoke(
+                    loid, "PendingDispatches", env=env
+                )
+            except LegionError:
+                break  # crashed or unreachable: nothing left to drain
+            if not pending or self.services.kernel.now >= deadline:
+                break
+            yield Timeout(RETIRE_POLL)
+        row = self.table.find(loid)
+        if row is None or row.deleted:
+            return False
+        for magistrate in list(row.current_magistrates):
+            try:
+                yield from self.runtime.invoke(magistrate, "Deactivate", loid, env=env)
+                return True
+            except LegionError:
+                continue
+        return False
 
     @legion_method("int CloneCount()")
     def clone_count(self) -> int:
         """How many clones currently share this class's creation load."""
         return len(self.clones)
+
+    @legion_method("int CloneEpoch()")
+    def get_clone_epoch(self) -> int:
+        """Monotone counter of clone-pool changes (cheap staleness check)."""
+        return self.clone_epoch
 
     @legion_method("list GetClones()")
     def get_clones(self) -> List[Binding]:
@@ -807,6 +900,18 @@ class ClassObjectImpl(LegionObjectImpl):
         residing in different domains" (section 5.2.2).
         """
         return list(self.clones)
+
+    @legion_method("pair GetClonePool()")
+    def get_clone_pool(self) -> Tuple[int, List[Binding]]:
+        """(epoch, [self + live clones]) for clone-aware client routing.
+
+        Clients re-fetch when CloneEpoch() moves; including our own
+        binding first means a client can spread Create()/method traffic
+        across the whole pool without special-casing the parent.
+        """
+        pool = [self._binding_for(self.loid, self.server.address)]
+        pool.extend(self.clones)
+        return (self.clone_epoch, pool)
 
 
 #: The class-mandatory interface (what every Legion class object exports).

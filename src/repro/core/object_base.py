@@ -168,6 +168,17 @@ class LegionObjectImpl:
         """The complete set of method signatures this object exports."""
         return type(self).exported_interface()
 
+    @legion_method("int PendingDispatches()")
+    def pending_dispatches(self) -> int:
+        """Requests dispatched but not yet replied to, excluding this probe.
+
+        The autoscaler's retirement drain polls this to know when a clone
+        has finished its in-flight work (the probe itself is in flight
+        while we answer, hence the ``- 1``).
+        """
+        server = getattr(self, "server", None)
+        return max(0, getattr(server, "in_flight", 1) - 1)
+
     @legion_method("bytes SaveState()")
     def save_state_method(self) -> bytes:
         """Wire-level SaveState(): serialised persistent state."""

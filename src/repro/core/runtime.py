@@ -183,6 +183,11 @@ class LegionRuntime:
 
     # ------------------------------------------------------------------ wiring
 
+    @property
+    def pending_count(self) -> int:
+        """Outstanding requests awaiting replies (client-side queue depth)."""
+        return len(self._pending)
+
     def set_binding_agent(self, agent: Binding) -> None:
         """Install the Binding Agent this object consults on cache misses."""
         self.binding_agent = agent

@@ -67,6 +67,9 @@ class ObjectServer:
         self.runtime.component_label = self._component_label
         self._endpoint = services.network.register(self.element, self.handle_message)
         self.active = True
+        #: Requests dispatched but not yet replied to -- the server-side
+        #: queue depth the autoscaler's LoadMonitor samples.
+        self.in_flight = 0
         # Seed the runtime: well-known core bindings plus the system's
         # default Binding Agent (creators may override either afterwards).
         for core_binding in services.core_bindings.values():
@@ -120,6 +123,7 @@ class ObjectServer:
 
     def _dispatch_request(self, message: Message) -> None:
         invocation: MethodInvocation = message.payload
+        self.in_flight += 1
         self.services.metrics.incr(self.component, MetricsRegistry.REQUESTS)
         tracer = self.services.tracer
         span = None
@@ -193,6 +197,8 @@ class ObjectServer:
             self._reply(message, MethodResult.success(outcome))
 
     def _reply(self, request: Message, result: MethodResult) -> None:
+        if self.in_flight > 0:
+            self.in_flight -= 1
         if not self.active:
             return  # deactivated mid-method; caller will see a stale binding
         self.services.network.send(request.reply_with(result))

@@ -40,6 +40,7 @@ from repro.experiments import (
     e11_autonomy,
     e12_loids,
     e13_availability,
+    e14_autoscale,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -57,6 +58,7 @@ RUNNERS = {
     "e11": e11_autonomy.run,
     "e12": e12_loids.run,
     "e13": e13_availability.run,
+    "e14": e14_autoscale.run,
     "a1": ablation_propagation.run,
     "a2": ablation_caching.run,
     "a3": run_ttl,
@@ -102,19 +104,26 @@ def run_one(
     trace: Optional[str] = None,
     faults: Optional[float] = None,
     report: Optional[str] = None,
+    autoscale: Optional[float] = None,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
 
     The optional keywords are forwarded only to runners that declare them:
     ``trace`` (an output directory) to trace-aware experiments, ``faults``
     (a chaos intensity) and ``report`` (an artifact directory) to
-    fault-aware ones.  The rest run exactly as without the flags.
+    fault-aware ones, ``autoscale`` (a max load multiplier) to e14.  The
+    rest run exactly as without the flags.
     """
     started = time.perf_counter()
     try:
         runner = RUNNERS[name]
         kwargs = {"quick": quick, "seed": seed}
-        for keyword, value in (("trace", trace), ("faults", faults), ("report", report)):
+        for keyword, value in (
+            ("trace", trace),
+            ("faults", faults),
+            ("report", report),
+            ("autoscale", autoscale),
+        ):
             if value is not None and _accepts(runner, keyword):
                 kwargs[keyword] = value
         result = runner(**kwargs)
@@ -143,6 +152,7 @@ def run_many(
     trace: Optional[str] = None,
     faults: Optional[float] = None,
     report: Optional[str] = None,
+    autoscale: Optional[float] = None,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
 
@@ -154,7 +164,7 @@ def run_many(
     at any ``jobs``.
     """
     tasks = [
-        (name, quick, seed, trace, faults, report)
+        (name, quick, seed, trace, faults, report, autoscale)
         for seed in seeds
         for name in names
     ]
@@ -241,6 +251,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "support them"
         ),
     )
+    parser.add_argument(
+        "--autoscale",
+        type=float,
+        default=None,
+        metavar="MULT",
+        help=(
+            "top offered-load multiplier for autoscale-aware experiments: "
+            "e14 then sweeps powers of two up to MULT instead of its "
+            "default 8x"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -268,6 +289,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace=args.trace,
         faults=args.faults,
         report=args.report,
+        autoscale=args.autoscale,
     )
 
     for outcome in outcomes:

@@ -563,6 +563,15 @@ class MagistrateImpl(LegionObjectImpl):
                 for r in self.managed.values()
                 if r.state is ObjectState.ACTIVE and r.host == host.loid
             ]
+            # Class objects (clones) first: their instances' recoveries may
+            # route through them, and an autoscaler wants the pool healed
+            # before the pool's tenants.
+            residents.sort(
+                key=lambda r: (
+                    r.template is None
+                    or r.template.component_kind != "class-object"
+                )
+            )
             for record in residents:
                 self._demote_to_inert(record, f"host {host.loid} lost")
                 try:
@@ -572,7 +581,11 @@ class MagistrateImpl(LegionObjectImpl):
                 except Exception:  # noqa: BLE001 - no surviving capacity yet
                     # Leave the record Inert; a later sweep (or the class's
                     # GetBinding-on-stale path) retries the reactivation.
-                    pass
+                    # Tell the class, so a routing pool (clone autoscaling)
+                    # stops sending traffic at a provably dead address.
+                    yield from self._notify_class(
+                        record, "NoteDeactivated", record.loid, self.loid, env=env
+                    )
         return failed
 
     def _demote_to_inert(self, record: ManagedObject, reason: str) -> None:

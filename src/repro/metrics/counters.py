@@ -118,6 +118,22 @@ class MetricsRegistry:
             if events.get(event, 0)
         }
 
+    def snapshot(
+        self, kind: Optional[ComponentKind] = None, event: str = REQUESTS
+    ) -> Dict[str, int]:
+        """A point-in-time copy of ``event`` counts for delta computation.
+
+        Keyed by component name when ``kind`` is given, by the full
+        "kind:name" label otherwise.  The autoscaler's LoadMonitor diffs
+        consecutive snapshots to turn cumulative counters into rates.
+        """
+        if kind is not None:
+            return self.loads(kind, event)
+        return {
+            str(comp): events.get(event, 0)
+            for comp, events in self._counts.items()
+        }
+
     def top(
         self, n: int = 10, event: str = REQUESTS, kind: Optional[ComponentKind] = None
     ) -> List[Tuple[ComponentId, int]]:

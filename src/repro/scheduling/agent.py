@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import SchedulingError
+from repro.errors import LegionError, SchedulingError
 from repro.core.method import InvocationContext
 from repro.core.object_base import LegionObjectImpl, legion_method
 from repro.naming.loid import LOID
@@ -116,3 +116,39 @@ class LeastLoadedSchedulingAgent(SchedulingAgentImpl):
                 best_count = count
                 best = magistrate
         return best
+
+
+class LeastLoadedPlacementAgent(LeastLoadedSchedulingAgent):
+    """Placement down to the host level, for autoscaler clone spawns.
+
+    ``ChoosePlacement`` composes the magistrate choice with a probe of
+    each of that magistrate's hosts: pick the accepting host with the
+    most free process slots (ties broken by enumeration order, which is
+    deterministic).  Returns ``(magistrate, host_or_None)``; ``None``
+    means "let the magistrate place it" (every probe failed).
+    """
+
+    @legion_method("pair ChoosePlacement(LOID, list)")
+    def choose_placement(
+        self,
+        asking_class: LOID,
+        candidates: Optional[List[LOID]],
+        *,
+        ctx: Optional[InvocationContext] = None,
+    ):
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        magistrate = yield from self.choose_magistrate(asking_class, candidates, ctx=ctx)
+        hosts = yield from self.runtime.invoke(magistrate, "GetHosts", env=env)
+        best_host: Optional[LOID] = None
+        best_free = None
+        for host in hosts:
+            try:
+                state = yield from self.runtime.invoke(host, "GetState", env=env)
+            except LegionError:
+                continue  # dead or unreachable host: not a placement target
+            if not state.accepting:
+                continue
+            if best_free is None or state.free_slots > best_free:
+                best_free = state.free_slots
+                best_host = host
+        return (magistrate, best_host)

@@ -78,6 +78,18 @@ class LoadLedger:
             if comp.startswith(prefix)
         }
 
+    def rates(self, prefix: str = "") -> Dict[str, float]:
+        """component → handled per simulated ms over the observed window.
+
+        The trace-derived twin of the LoadMonitor's counter-delta rates:
+        an autoscaler (or an audit of one) can cross-check its sampled
+        rates against what the spans actually recorded.
+        """
+        span = self.duration
+        if span <= 0:
+            return {comp: 0.0 for comp in self.loads(prefix)}
+        return {comp: n / span for comp, n in self.loads(prefix).items()}
+
     def max_load(self, prefix: str = "") -> Tuple[str, int]:
         """The most-loaded component (and its count) under ``prefix``.
 

@@ -156,6 +156,74 @@ class TrafficDriver:
         return gather(futures).then(lambda _results: self.stats, name="traffic-stats")
 
 
+class OpenLoopDriver:
+    """Fixed-rate (open-loop) traffic: offered load independent of latency.
+
+    The closed-loop :class:`TrafficDriver` caps throughput at
+    clients/latency -- useless for saturation studies, where the point is
+    that the *offered* rate keeps growing whether or not the target keeps
+    up.  Here each client fires one invocation every ``interval``
+    simulated ms without waiting for the previous reply; the driver
+    future resolves when every fired call has completed.
+
+    ``choose_call(client)`` returns ``(target_loid, method, args)`` per
+    call, so a mixed workload (cheap method traffic plus occasional
+    Create()s) is one callback.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        clients: Sequence[ObjectServer],
+        choose_call,
+        interval: float,
+        duration: float,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.clients = list(clients)
+        self.choose_call = choose_call
+        self.interval = interval
+        self.duration = duration
+        self.timeout = timeout
+        self.stats = TrafficStats()
+
+    def _one_call(self, client: ObjectServer, target, method: str, args):
+        try:
+            yield from client.runtime.invoke(
+                target, method, *args, timeout=self.timeout
+            )
+            self.stats.calls_succeeded += 1
+        except LegionError as exc:
+            self.stats.calls_failed += 1
+            if len(self.stats.errors) < 32:
+                self.stats.errors.append(f"{target}.{method}: {exc}")
+
+    def _client_loop(self, client: ObjectServer):
+        deadline = self.kernel.now + self.duration
+        calls = []
+        while self.kernel.now < deadline:
+            target, method, args = self.choose_call(client)
+            self.stats.calls_issued += 1
+            calls.append(
+                self.kernel.spawn(
+                    self._one_call(client, target, method, args),
+                    name=f"openloop-{client.loid}",
+                )
+            )
+            yield Timeout(self.interval)
+        for fut in calls:  # drain: every fired call must resolve
+            yield fut
+
+    def start(self) -> SimFuture:
+        """Spawn every client loop; future resolves with TrafficStats."""
+        futures = [
+            self.kernel.spawn(self._client_loop(c), name=f"openloop-{c.loid}")
+            for c in self.clients
+        ]
+        return gather(futures).then(lambda _results: self.stats, name="openloop-stats")
+
+
 class ChurnDriver:
     """Manufacture stale bindings by cycling objects through magistrates.
 

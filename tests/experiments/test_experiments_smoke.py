@@ -22,6 +22,7 @@ from repro.experiments import (
     e11_autonomy,
     e12_loids,
     e13_availability,
+    e14_autoscale,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = [
     e11_autonomy,
     e12_loids,
     e13_availability,
+    e14_autoscale,
     ablation_propagation,
     ablation_caching,
 ]
