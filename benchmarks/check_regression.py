@@ -27,6 +27,10 @@ def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
         yield f"kernel.{name}", float(payload["ops_per_sec"])
     if "system_call" in metrics:
         yield "system_call", float(metrics["system_call"]["calls_per_sec"])
+    if "e15_goodput" in metrics:
+        # Not ops/sec but same polarity (higher is better): the flow arm's
+        # delivered goodput as a fraction of capacity under 4x overload.
+        yield "e15_goodput", float(metrics["e15_goodput"]["goodput_x_capacity"])
 
 
 def main(argv=None) -> int:

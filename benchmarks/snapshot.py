@@ -69,6 +69,31 @@ def snapshot_system_call(n: int = 300) -> dict:
     }
 
 
+def snapshot_e15_goodput() -> dict:
+    """E15 flow-arm goodput at the 4x overload level (fraction of capacity).
+
+    The flow-control claim the perf gate protects: admission control must
+    keep delivered goodput at the capacity plateau while offered load runs
+    4x past it.  Recorded as a throughput-style metric (higher is better)
+    so check_regression can hold the line on it like any ops/sec number.
+    """
+    from repro.experiments import e15_overload  # deferred: imports numpy
+
+    started = time.perf_counter()
+    result = e15_overload.run(quick=True, seed=0)
+    wall = time.perf_counter() - started
+    by_level = dict(
+        zip(result.recorder.xs, result.recorder.series("flow_goodput"), strict=True)
+    )
+    level = 4.0 if 4.0 in by_level else max(by_level)
+    return {
+        "level": level,
+        "goodput_x_capacity": by_level[level],
+        "all_checks_passed": result.passed,
+        "wall_s": round(wall, 2),
+    }
+
+
 def snapshot_sweep(jobs: int = 1) -> dict:
     """Wall time of the full quick experiment sweep via the CLI."""
     cmd = [sys.executable, "-m", "repro.experiments"]
@@ -98,6 +123,7 @@ def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
         "metrics": {
             "kernel": snapshot_kernel(),
             "system_call": snapshot_system_call(),
+            "e15_goodput": snapshot_e15_goodput(),
         },
     }
     if not skip_sweep:

@@ -44,6 +44,12 @@ class AutoscaleConfig:
     tick: float = 10.0
     min_clones: int = 0
     max_clones: int = 8
+    #: Admission sheds per simulated ms per member that force a scale-up
+    #: even when the served rate sits below ``high_water``.  A server at
+    #: capacity *serves* at most its capacity, so under flow control the
+    #: demand signal lives in the shed counter; the default (inf) keeps
+    #: the historical served-rate-only policy.
+    shed_water: float = float("inf")
 
     def __post_init__(self) -> None:
         if self.low_water >= self.high_water:
@@ -51,6 +57,8 @@ class AutoscaleConfig:
                 f"hysteresis gap required: low_water {self.low_water} must be "
                 f"< high_water {self.high_water}"
             )
+        if self.shed_water <= 0:
+            raise LegionError(f"shed_water must be > 0, got {self.shed_water}")
         if self.tick <= 0:
             raise LegionError(f"tick must be positive, got {self.tick}")
         if self.cooldown < 0:
@@ -146,21 +154,26 @@ class CloneController:
         members = [str(self.class_loid)] + [str(c.loid) for c in clones]
         total = sample.pool_rate(members)
         per_member = total / len(members)
+        shed_per_member = sample.pool_shed_rate(members) / len(members)
         now = self.system.kernel.now
         cfg = self.config
         if (
-            per_member > cfg.high_water
+            (per_member > cfg.high_water or shed_per_member > cfg.shed_water)
             and len(clones) < cfg.max_clones
             and now - self._last_shrink >= cfg.cooldown
         ):
+            # Served + shed is the *demand* the pool must absorb; under
+            # admission control the served rate alone is capacity-capped.
+            demand = total + sample.pool_shed_rate(members)
             desired = max(
-                len(members) + 1, math.ceil(total / cfg.high_water)
+                len(members) + 1, math.ceil(demand / cfg.high_water)
             )
             desired = min(desired, cfg.max_clones + 1)
             for _ in range(desired - len(members)):
                 yield from self._spawn_clone()
         elif (
             per_member < cfg.low_water
+            and shed_per_member == 0.0
             and len(clones) > cfg.min_clones
             and now - self._last_grow >= cfg.cooldown
         ):

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
-from repro.metrics.counters import ComponentKind
+from repro.metrics.counters import ComponentKind, MetricsRegistry
 from repro.trace.ledger import LoadLedger
 
 
@@ -31,6 +31,9 @@ class LoadSample:
     rates: Dict[str, float] = field(default_factory=dict)
     #: component name → requests dispatched but not yet replied to.
     queues: Dict[str, int] = field(default_factory=dict)
+    #: component name → admission sheds per simulated ms since the last
+    #: sample (repro.flow).  Empty when no admission control is active.
+    sheds: Dict[str, float] = field(default_factory=dict)
 
     def pool_rate(self, names: Iterable[str]) -> float:
         """Aggregate rate over a set of components (a clone pool)."""
@@ -39,6 +42,10 @@ class LoadSample:
     def pool_queue(self, names: Iterable[str]) -> int:
         """Aggregate queue depth over a set of components."""
         return sum(self.queues.get(name, 0) for name in names)
+
+    def pool_shed_rate(self, names: Iterable[str]) -> float:
+        """Aggregate shed rate over a set of components (a clone pool)."""
+        return sum(self.sheds.get(name, 0.0) for name in names)
 
 
 class LoadMonitor:
@@ -53,23 +60,40 @@ class LoadMonitor:
         self.system = system
         self.kind = kind
         self._last_counts: Dict[str, int] = {}
+        self._last_sheds: Dict[str, int] = {}
         self._last_time: float = system.kernel.now
 
     def sample(self) -> LoadSample:
-        """Rates since the previous sample, plus current queue depths."""
+        """Rates since the previous sample, plus current queue depths.
+
+        Shed rates ride along: a server at capacity serves (and counts)
+        at most its capacity in ``requests``, so under admission control
+        the *demand* signal lives in the shed counter -- queue depth alone
+        would read a saturated-but-bounded server as healthy.
+        """
         now = self.system.kernel.now
-        counts = self.system.services.metrics.snapshot(self.kind)
+        metrics = self.system.services.metrics
+        counts = metrics.snapshot(self.kind)
+        shed_counts = metrics.snapshot(self.kind, MetricsRegistry.SHED)
         window = now - self._last_time
         rates: Dict[str, float] = {}
+        sheds: Dict[str, float] = {}
         if window > 0:
             for name, count in counts.items():
                 delta = count - self._last_counts.get(name, 0)
                 if delta < 0:
                     delta = count  # counters were reset mid-flight; re-baseline
                 rates[name] = delta / window
+            for name, count in shed_counts.items():
+                delta = count - self._last_sheds.get(name, 0)
+                if delta < 0:
+                    delta = count
+                if delta:
+                    sheds[name] = delta / window
         self._last_counts = counts
+        self._last_sheds = shed_counts
         self._last_time = now
-        return LoadSample(time=now, rates=rates, queues=self.queue_depths())
+        return LoadSample(time=now, rates=rates, queues=self.queue_depths(), sheds=sheds)
 
     def queue_depths(self) -> Dict[str, int]:
         """Server-side in-flight dispatch counts for live components."""

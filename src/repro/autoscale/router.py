@@ -33,14 +33,35 @@ class ClonePoolRouter:
         self._proc = None
 
     def choose(self) -> LOID:
-        """The next pool member's LOID (round-robin)."""
-        member = self.pool[self._rr % len(self.pool)]
+        """The next pool member's LOID (credit-aware round-robin).
+
+        Plain round-robin unless the client runtime holds credit windows
+        (repro.flow): then the rotation skips members whose window is
+        exhausted -- in-flight saturation is the earliest overload signal
+        a client has -- falling back to strict round-robin when every
+        member is saturated, so backpressure degrades to fairness.
+        """
+        pool = self.pool
+        size = len(pool)
+        credits = self.client.runtime.credits
+        if credits is not None and size > 1:
+            for offset in range(size):
+                member = pool[(self._rr + offset) % size]
+                element = member.address.elements[0]
+                if credits.has_headroom(member.loid.identity, element):
+                    self._rr += offset + 1
+                    return member.loid
+        member = pool[self._rr % size]
         self._rr += 1
         return member.loid
 
     def start(self) -> None:
         """Spawn the refresh loop (idempotent)."""
         if self._proc is None:
+            # CloneEpoch/GetClonePool are idempotent metadata reads; when
+            # the flow subsystem enables batching, concurrent routers on
+            # one client runtime share a single upstream poll message.
+            self.client.runtime.enable_batching("CloneEpoch", "GetClonePool")
             self._proc = self.client.services.kernel.spawn_process(
                 self._loop(), name=f"clone-pool-{self.client.loid}"
             )

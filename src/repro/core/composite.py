@@ -170,7 +170,7 @@ class CompositeImpl(LegionObjectImpl):
     def restore_state(self, blob: bytes) -> None:
         """Inverse of :meth:`save_state`; chain shapes must match."""
         blobs = pickle.loads(blob)
-        for part, part_blob in zip(self.parts, blobs):
+        for part, part_blob in zip(self.parts, blobs, strict=True):
             part.restore_state(part_blob)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -109,6 +109,12 @@ class SystemServices:
     #: outside fault experiments.  Recovery paths append *observed*
     #: incidents here so injected-vs-observed reconciliation works.
     fault_log: Any = None
+    #: The flow-control configuration (:class:`repro.flow.FlowConfig`), or
+    #: ``None`` for the historical unthrottled behaviour.  When set, new
+    #: ObjectServers gain bounded admission queues, runtimes gain credit
+    #: windows and (opt-in) request batching.  Like ``tracer``, every hot
+    #: path guards on ``flow is None`` so the default costs nothing.
+    flow: Any = None
 
     def well_known_loid(self, role: str) -> LOID:
         """The LOID of a core object by role; raises if not bootstrapped."""

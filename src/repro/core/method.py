@@ -16,7 +16,7 @@ subclass at the caller.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from repro import errors
 from repro.naming.loid import LOID
@@ -53,6 +53,13 @@ class MethodInvocation:
     method: str
     args: Tuple[Any, ...]
     env: CallEnvironment
+    #: Admission-control metadata (repro.flow).  ``priority`` breaks ties
+    #: when a bounded server queue must shed (higher wins); ``deadline``
+    #: is the caller's absolute simulated-time deadline so a server can
+    #: shed requests that are already hopeless instead of serving corpses.
+    #: Both stay at their defaults when no FlowConfig is installed.
+    priority: int = 0
+    deadline: Optional[float] = None
 
     @property
     def arity(self) -> int:
@@ -70,6 +77,9 @@ class MethodResult:
     value: Any = None
     error_type: str = ""
     error_message: str = ""
+    #: Structured side-channel for errors whose constructor needs more
+    #: than a message: today only Overloaded's ``retry_after`` hint.
+    error_detail: Any = None
 
     @property
     def ok(self) -> bool:
@@ -84,12 +94,21 @@ class MethodResult:
     @classmethod
     def failure(cls, exc: BaseException) -> "MethodResult":
         """Marshal an exception raised by the remote method."""
-        return cls(value=None, error_type=type(exc).__name__, error_message=str(exc))
+        return cls(
+            value=None,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            error_detail=getattr(exc, "retry_after", None),
+        )
 
     def unwrap(self) -> Any:
         """Return the value or raise the reconstructed remote error."""
         if self.ok:
             return self.value
+        if self.error_type == "Overloaded":
+            raise errors.Overloaded(
+                self.error_message, retry_after=float(self.error_detail or 0.0)
+            )
         exc_type = _REMOTE_ERROR_TYPES.get(self.error_type)
         if exc_type is not None:
             raise exc_type(self.error_message)

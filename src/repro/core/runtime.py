@@ -25,8 +25,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import BindingNotFound, DeliveryFailure, InvocationTimeout, PartitionedError
+from repro.errors import (
+    BindingNotFound,
+    DeliveryFailure,
+    InvocationTimeout,
+    Overloaded,
+    PartitionedError,
+)
 from repro.core.method import MethodInvocation, MethodResult
+from repro.flow.batching import RequestBatcher
+from repro.flow.credits import CreditLedger
 from repro.naming.binding import Binding
 from repro.naming.cache import BindingCache
 from repro.naming.loid import LOID
@@ -73,6 +81,18 @@ class RetryPolicy:
     #: BindingNotFound (e.g. the recovery control path is itself cut off by
     #: a partition) instead of giving up on the spot.
     retry_resolution_failures: bool = False
+    #: Wait at least the server's ``retry_after`` pushback hint before the
+    #: attempt after an Overloaded (admission-shed) reply.  Shed replies
+    #: never count as stale bindings: no invalidate, no refresh, no rebind.
+    honor_retry_after: bool = True
+    #: Per-runtime global retry *token bucket*: every attempt after the
+    #: first spends one token; a dry bucket stops the retry loop
+    #: (stats.retry_denied), so N concurrent invokes cannot multiply
+    #: offered load during an outage.  None = unlimited (the historical
+    #: behaviour).
+    retry_tokens: Optional[float] = None
+    #: Bucket refill rate in tokens per simulated ms (0 = no refill).
+    retry_token_refill: float = 0.0
 
     def backoff_delay(self, attempt: int, rng) -> float:
         """Delay to sleep before ``attempt`` (2-based; attempt 1 never waits)."""
@@ -99,7 +119,7 @@ class RuntimeStats:
     When ``_pending`` is empty the request-plane counters reconcile::
 
         requests_sent == replies_received + timeouts
-                         + delivery_failures + cancelled
+                         + delivery_failures + cancelled + shed
 
     -- every request settles exactly one way; the property test pins this.
     """
@@ -121,6 +141,12 @@ class RuntimeStats:
     delivery_failures: int = 0
     #: Requests failed by fail_pending (teardown/migration).
     cancelled: int = 0
+    #: Requests settled by an Overloaded reply (admission-control shed).
+    shed: int = 0
+    #: Retries the global retry token bucket refused to fund.
+    retry_denied: int = 0
+    #: Sends that had to park on an exhausted credit window first.
+    credit_waits: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -129,6 +155,7 @@ class RuntimeStats:
         self.agent_lookups = 0
         self.attempts = self.rebinds = self.budget_exhausted = 0
         self.delivery_failures = self.cancelled = 0
+        self.shed = self.retry_denied = self.credit_waits = 0
 
 
 class LegionRuntime:
@@ -180,6 +207,27 @@ class LegionRuntime:
         #: copy, but resolution falls back here, so connectivity loss is
         #: never promoted into permanent amnesia about the core objects.
         self._permanent: Dict[tuple, Binding] = {}
+        #: The flow-control configuration (repro.flow), or None.  Every
+        #: flow feature below guards on it so the default costs nothing.
+        flow = getattr(services, "flow", None)
+        self._flow = flow
+        #: Caller-side credit windows (credit-based backpressure).
+        self.credits: Optional[CreditLedger] = (
+            CreditLedger(flow.credit_window)
+            if flow is not None and flow.credit_window is not None
+            else None
+        )
+        #: Request batcher; created lazily by enable_batching() (or
+        #: eagerly when the config pre-registers batch_methods).
+        self._batcher: Optional[RequestBatcher] = None
+        if flow is not None and flow.batch_window > 0.0 and flow.batch_methods:
+            self._batcher = RequestBatcher(
+                self, flow.batch_window, flow.batch_limit, flow.batch_methods
+            )
+        #: Global retry token bucket (None until first use; see
+        #: RetryPolicy.retry_tokens).
+        self._retry_bucket: Optional[float] = None
+        self._retry_bucket_at = 0.0
 
     # ------------------------------------------------------------------ wiring
 
@@ -211,6 +259,45 @@ class LegionRuntime:
                 self.cache.insert(binding)
         return binding
 
+    def enable_batching(self, *methods: str) -> bool:
+        """Opt this runtime's calls to ``methods`` into request batching.
+
+        Binding agents call this for GetBinding (the combining tree's
+        data plane) and clone-pool routers for CloneEpoch/GetClonePool;
+        only idempotent metadata reads belong here.  A no-op returning
+        False unless the installed FlowConfig enables a batch window.
+        """
+        flow = self._flow
+        if flow is None or flow.batch_window <= 0.0:
+            return False
+        if self._batcher is None:
+            self._batcher = RequestBatcher(
+                self, flow.batch_window, flow.batch_limit, flow.batch_methods
+            )
+        self._batcher.methods.update(methods)
+        return True
+
+    def _take_retry_token(self) -> bool:
+        """Spend one global retry token; False (and counted) when dry."""
+        policy = self.retry_policy
+        cap = policy.retry_tokens
+        if cap is None:
+            return True
+        now = self.kernel.now
+        if self._retry_bucket is None:
+            self._retry_bucket = float(cap)
+        elif policy.retry_token_refill > 0.0:
+            refilled = self._retry_bucket + (
+                (now - self._retry_bucket_at) * policy.retry_token_refill
+            )
+            self._retry_bucket = refilled if refilled < cap else float(cap)
+        self._retry_bucket_at = now
+        if self._retry_bucket >= 1.0:
+            self._retry_bucket -= 1.0
+            return True
+        self.stats.retry_denied += 1
+        return False
+
     # --------------------------------------------------------------- message in
 
     def handle_reply(self, message: Message) -> None:
@@ -221,8 +308,14 @@ class LegionRuntime:
             self._finish_request_span(message.correlation_id, "ok")
         if fut is None or fut.done():
             return  # late reply after timeout; drop
-        self.stats.replies_received += 1
-        fut.set_result(message.payload)
+        payload = message.payload
+        if type(payload) is MethodResult and payload.error_type == "Overloaded":
+            # Admission-control shed: its own terminal state, not a reply
+            # in the goodput sense and never a stale-binding signal.
+            self.stats.shed += 1
+        else:
+            self.stats.replies_received += 1
+        fut.set_result(payload)
 
     def handle_delivery_failure(self, message: Message) -> None:
         """Route a DELIVERY_FAILURE notice to its waiting future."""
@@ -344,11 +437,68 @@ class LegionRuntime:
         args: Tuple[Any, ...],
         env: CallEnvironment,
         timeout: Optional[float] = None,
+        priority: int = 0,
     ):
         """Process-style call of one element; returns the unwrapped value."""
-        invocation = MethodInvocation(target=target, method=method, args=args, env=env)
-        result: MethodResult = yield self.send_request(element, invocation, timeout)
+        if self._flow is None:
+            invocation = MethodInvocation(
+                target=target, method=method, args=args, env=env
+            )
+            result: MethodResult = yield self.send_request(element, invocation, timeout)
+            return result.unwrap()
+        invocation = self._flow_invocation(target, method, args, env, timeout, priority)
+        batcher = self._batcher
+        if batcher is not None and method in batcher.methods:
+            # Coalesced path: credits are bypassed on purpose -- the
+            # batch window itself paces upstream traffic, and one wire
+            # message per window is the bound we are after.
+            result = yield batcher.submit(element, invocation, timeout)
+            return result.unwrap()
+        result = yield from self._credited_send(element, invocation, timeout)
         return result.unwrap()
+
+    def _flow_invocation(
+        self, target, method, args, env, timeout, priority
+    ) -> MethodInvocation:
+        """An invocation stamped with flow metadata (deadline, priority)."""
+        deadline = timeout if timeout is not None else self.default_timeout
+        return MethodInvocation(
+            target=target,
+            method=method,
+            args=args,
+            env=env,
+            priority=priority,
+            deadline=None if deadline is None else self.kernel.now + deadline,
+        )
+
+    def _credited_send(self, element, invocation: MethodInvocation, timeout):
+        """send_request behind the element's credit window (if any).
+
+        Any settlement of the wire future -- reply, shed, failure,
+        timeout, cancellation -- releases the credit exactly once.
+        """
+        credits = self.credits
+        if credits is None:
+            result = yield self.send_request(element, invocation, timeout)
+            return result
+        window = credits.window(invocation.target.identity, element)
+        waiter = window.try_acquire()
+        if waiter is not None:
+            self.stats.credit_waits += 1
+            tracer = self.services.tracer
+            if tracer is not None and tracer.active:
+                tracer.instant(
+                    "credit-wait " + invocation.method,
+                    "credit",
+                    parent=invocation.env.trace,
+                    component=self.component_label,
+                    window=window.capacity,
+                )
+            yield waiter
+        fut = self.send_request(element, invocation, timeout)
+        fut.add_done_callback(window.release)
+        result = yield fut
+        return result
 
     def call_address(
         self,
@@ -358,6 +508,7 @@ class LegionRuntime:
         args: Tuple[Any, ...],
         env: CallEnvironment,
         timeout: Optional[float] = None,
+        priority: int = 0,
     ):
         """Semantics-aware call of a (possibly replicated) Object Address.
 
@@ -372,7 +523,7 @@ class LegionRuntime:
             for element in address.elements:
                 try:
                     value = yield from self.call_element(
-                        element, target, method, args, env, timeout
+                        element, target, method, args, env, timeout, priority
                     )
                     return value
                 except DeliveryFailure as exc:
@@ -382,16 +533,40 @@ class LegionRuntime:
         if semantic is AddressSemantic.ANY_RANDOM:
             rng = self.services.rng.stream("address-any-random")
             (element,) = address.targets(rng)
-            value = yield from self.call_element(element, target, method, args, env, timeout)
-            return value
-        invocation_futs = [
-            self.send_request(
-                element,
-                MethodInvocation(target=target, method=method, args=args, env=env),
-                timeout,
+            value = yield from self.call_element(
+                element, target, method, args, env, timeout, priority
             )
-            for element in address.elements
-        ]
+            return value
+        if self._flow is None:
+            invocation_futs = [
+                self.send_request(
+                    element,
+                    MethodInvocation(target=target, method=method, args=args, env=env),
+                    timeout,
+                )
+                for element in address.elements
+            ]
+        else:
+            # Fan-out under flow control: acquire each element's credit
+            # (possibly waiting) before its leg fires, sequentially in
+            # element order so the acquisition schedule is deterministic.
+            invocation = self._flow_invocation(
+                target, method, args, env, timeout, priority
+            )
+            invocation_futs = []
+            credits = self.credits
+            for element in address.elements:
+                if credits is not None:
+                    waiter = credits.window(target.identity, element).try_acquire()
+                    if waiter is not None:
+                        self.stats.credit_waits += 1
+                        yield waiter
+                fut = self.send_request(element, invocation, timeout)
+                if credits is not None:
+                    fut.add_done_callback(
+                        credits.window(target.identity, element).release
+                    )
+                invocation_futs.append(fut)
         if semantic is AddressSemantic.ALL:
             results: List[MethodResult] = yield gather(invocation_futs)
             return [r.unwrap() for r in results]
@@ -502,6 +677,7 @@ class LegionRuntime:
         *args: Any,
         env: Optional[CallEnvironment] = None,
         timeout: Optional[float] = None,
+        priority: int = 0,
     ):
         """The full non-blocking method invocation path (section 4.1).
 
@@ -536,11 +712,20 @@ class LegionRuntime:
         try:
             binding: Optional[Binding] = None
             last_error: Optional[BaseException] = None
+            pushback = 0.0
             for attempt in range(1, policy.max_attempts + 1):
                 if attempt > 1:
+                    if not self._take_retry_token():
+                        break
                     delay = policy.backoff_delay(
                         attempt, self.services.rng.stream("retry-backoff")
                     )
+                    if pushback > 0.0:
+                        # The server told us when admission is plausible;
+                        # hammering the queue any earlier is wasted wire.
+                        if delay < pushback:
+                            delay = pushback
+                        pushback = 0.0
                     if (
                         policy.budget is not None
                         and self.kernel.now - started + delay >= policy.budget
@@ -567,6 +752,13 @@ class LegionRuntime:
                     # backoff/budget instead of leaking them to the caller.
                     try:
                         binding = yield from self.resolve(target, trace=env.trace)
+                    except Overloaded as exc:
+                        # The resolution path itself (agent or class) shed
+                        # us; always retryable, paced by its pushback hint.
+                        last_error = exc
+                        if policy.honor_retry_after:
+                            pushback = exc.retry_after
+                        continue
                     except PartitionedError as exc:
                         if not policy.retry_partitions:
                             raise
@@ -579,11 +771,19 @@ class LegionRuntime:
                         continue
                 try:
                     value = yield from self.call_address(
-                        binding.address, target, method, tuple(args), env, timeout
+                        binding.address, target, method, tuple(args), env, timeout,
+                        priority,
                     )
                     if span is not None and attempt > 1:
                         span.annotate(attempts=attempt)
                     return value
+                except Overloaded as exc:
+                    # Admission-control shed: the binding is *not* stale.
+                    # No invalidate, no refresh, no rebind -- just wait out
+                    # the server's retry_after hint and try again.
+                    last_error = exc
+                    if policy.honor_retry_after:
+                        pushback = exc.retry_after
                 except PartitionedError as exc:
                     # The destination's site is unreachable; a refreshed
                     # binding cannot help until the partition heals, and
@@ -620,7 +820,7 @@ class LegionRuntime:
                         # through, and a genuinely dead address will exhaust
                         # the attempts into BindingNotFound below.
                         pass
-            if isinstance(last_error, PartitionedError):
+            if isinstance(last_error, (PartitionedError, Overloaded)):
                 raise last_error
             raise BindingNotFound(
                 f"could not reach {target} after {policy.max_attempts} attempts",

@@ -21,17 +21,23 @@ registry -- the raw data of the Section 5 scalability experiments.
 from __future__ import annotations
 
 import types
+from functools import partial
 from typing import Optional
 
-from repro.errors import LegionError, MethodNotFound, SecurityDenied
+from repro.errors import LegionError, MethodNotFound, Overloaded, SecurityDenied
 from repro.core.method import InvocationContext, MethodInvocation, MethodResult
 from repro.core.object_base import LegionObjectImpl
 from repro.core.runtime import LegionRuntime
+from repro.flow.admission import AdmissionController
+from repro.flow.batching import BatchInvocation
 from repro.metrics.counters import ComponentId, ComponentKind, MetricsRegistry
 from repro.naming.binding import Binding
 from repro.naming.loid import LOID
 from repro.net.address import ObjectAddress
 from repro.net.message import Message, MessageKind
+
+#: Sentinel expiry for bindings that never go stale on their own.
+_NO_EXPIRY = float("inf")
 
 
 class ObjectServer:
@@ -47,6 +53,7 @@ class ObjectServer:
         component_kind: ComponentKind = ComponentKind.APPLICATION,
         component_name: str = "",
         cache_capacity: Optional[int] = 128,
+        flow=None,
     ) -> None:
         self.services = services
         self.loid = loid
@@ -68,8 +75,19 @@ class ObjectServer:
         self._endpoint = services.network.register(self.element, self.handle_message)
         self.active = True
         #: Requests dispatched but not yet replied to -- the server-side
-        #: queue depth the autoscaler's LoadMonitor samples.
+        #: queue depth the autoscaler's LoadMonitor samples.  Batched
+        #: dispatch adds the full member count, so coalescing never
+        #: under-reports depth.
         self.in_flight = 0
+        #: Bounded admission queue (repro.flow), or None for the
+        #: historical accept-everything behaviour.  ``flow`` overrides the
+        #: system-wide ``services.flow`` config per server.
+        flow_config = flow if flow is not None else getattr(services, "flow", None)
+        self.admission = (
+            AdmissionController(self, flow_config)
+            if flow_config is not None and flow_config.admits(component_kind)
+            else None
+        )
         # Seed the runtime: well-known core bindings plus the system's
         # default Binding Agent (creators may override either afterwards).
         for core_binding in services.core_bindings.values():
@@ -94,7 +112,7 @@ class ObjectServer:
         """This server's single-element Object Address."""
         return ObjectAddress.single(self.element)
 
-    def binding(self, expires_at: float = float("inf")) -> Binding:
+    def binding(self, expires_at: float = _NO_EXPIRY) -> Binding:
         """A Binding for this server's LOID and address."""
         return Binding(self.loid, self.address, expires_at)
 
@@ -119,6 +137,12 @@ class ObjectServer:
                 )
             self.impl.handle_event(message.payload, message.source)
             return
+        if self.admission is not None:
+            self.admission.arrive(message)
+            return
+        if type(message.payload) is BatchInvocation:
+            self._dispatch_batch(message)
+            return
         self._dispatch_request(message)
 
     def _dispatch_request(self, message: Message) -> None:
@@ -139,6 +163,63 @@ class ObjectServer:
                 component=self._component_label,
             )
             env = env.with_trace(span.context)
+        self._execute(invocation, env, span, partial(self._reply, message))
+
+    def _dispatch_batch(self, message: Message) -> None:
+        """Unpack a BatchInvocation into per-call dispatches + one reply.
+
+        Each member counts fully toward ``in_flight`` (and the request
+        metric) for exactly as long as it runs, so the autoscaler's queue
+        depth never under-reports under coalesced dispatch; the combined
+        reply leaves once the last member settles.
+        """
+        batch: BatchInvocation = message.payload
+        count = len(batch.calls)
+        self.in_flight += count
+        self.services.metrics.incr(self.component, MetricsRegistry.REQUESTS, count)
+        tracer = self.services.tracer
+        traced = tracer is not None and tracer.active
+        if traced:
+            tracer.instant(
+                "unbatch " + batch.method,
+                "batch",
+                parent=message.trace,
+                component=self._component_label,
+                n=count,
+            )
+        results: list = [None] * count
+        remaining = [count]
+
+        def member_done(index: int, result: MethodResult) -> None:
+            results[index] = result
+            if self.in_flight > 0:
+                self.in_flight -= 1
+            remaining[0] -= 1
+            if remaining[0] == 0 and self.active:
+                self.services.network.send(
+                    message.reply_with(MethodResult.success(tuple(results)))
+                )
+            if self.admission is not None:
+                self.admission.pump()
+
+        for index, invocation in enumerate(batch.calls):
+            span = None
+            env = invocation.env
+            if traced:
+                span = tracer.start(
+                    "handle " + invocation.method,
+                    "handle",
+                    parent=message.trace,
+                    component=self._component_label,
+                )
+                env = env.with_trace(span.context)
+            self._execute(
+                invocation, env, span, partial(member_done, index)
+            )
+
+    def _execute(self, invocation: MethodInvocation, env, span, done) -> None:
+        """Run one invocation; call ``done(MethodResult)`` exactly once."""
+        tracer = self.services.tracer
         try:
             if not self.impl.may_i(invocation.method, invocation.env):
                 raise SecurityDenied(
@@ -153,7 +234,7 @@ class ObjectServer:
         except LegionError as exc:
             if span is not None:
                 tracer.finish(span, type(exc).__name__)
-            self._reply(message, MethodResult.failure(exc))
+            done(MethodResult.failure(exc))
             return
 
         ctx = InvocationContext(
@@ -167,12 +248,12 @@ class ObjectServer:
         except LegionError as exc:
             if span is not None:
                 tracer.finish(span, type(exc).__name__)
-            self._reply(message, MethodResult.failure(exc))
+            done(MethodResult.failure(exc))
             return
         except Exception as exc:  # noqa: BLE001 - marshalled to caller
             if span is not None:
                 tracer.finish(span, type(exc).__name__)
-            self._reply(message, MethodResult.failure(exc))
+            done(MethodResult.failure(exc))
             return
 
         if isinstance(outcome, types.GeneratorType):
@@ -186,21 +267,60 @@ class ObjectServer:
                     exc = done_fut.exception()
                     tracer.finish(span, type(exc).__name__ if exc else "ok")
                 if done_fut.failed():
-                    self._reply(message, MethodResult.failure(done_fut.exception()))
+                    done(MethodResult.failure(done_fut.exception()))
                 else:
-                    self._reply(message, MethodResult.success(done_fut.result()))
+                    done(MethodResult.success(done_fut.result()))
 
             fut.add_done_callback(_finish)
         else:
             if span is not None:
                 tracer.finish(span)
-            self._reply(message, MethodResult.success(outcome))
+            done(MethodResult.success(outcome))
 
     def _reply(self, request: Message, result: MethodResult) -> None:
         if self.in_flight > 0:
             self.in_flight -= 1
+        if self.active:
+            self.services.network.send(request.reply_with(result))
+        # else: deactivated mid-method; caller will see a stale binding
+        if self.admission is not None:
+            self.admission.pump()
+
+    def _shed_reply(self, request: Message, retry_after: float, reason: str) -> None:
+        """Refuse ``request`` with Overloaded(retry_after); never dispatched.
+
+        Counts the shed against the SHED metric (one per logical request,
+        so batch sheds count every member), records the incident on the
+        FaultLog and as a "shed" span, and replies without ever touching
+        ``in_flight``.
+        """
+        payload = request.payload
+        count = len(payload.calls) if type(payload) is BatchInvocation else 1
+        self.services.metrics.incr(self.component, MetricsRegistry.SHED, count)
+        fault_log = self.services.fault_log
+        now = self.services.kernel.now
+        tracer = self.services.tracer
+        traced = tracer is not None and tracer.active
+        for _ in range(count):
+            if fault_log is not None:
+                fault_log.observe(now, "request-shed", self._component_label, reason)
+            if traced:
+                tracer.instant(
+                    "shed " + payload.method,
+                    "shed",
+                    parent=request.trace,
+                    component=self._component_label,
+                    reason=reason,
+                    retry_after=round(retry_after, 3),
+                )
         if not self.active:
-            return  # deactivated mid-method; caller will see a stale binding
+            return
+        result = MethodResult.failure(
+            Overloaded(
+                f"{self.loid} shed {payload.method} ({reason})",
+                retry_after=retry_after,
+            )
+        )
         self.services.network.send(request.reply_with(result))
 
     # ----------------------------------------------------------------- lifecycle

@@ -134,6 +134,22 @@ class ObjectDeleted(RemoteError):
     """The target object was removed from the system via Delete()."""
 
 
+class Overloaded(RemoteError):
+    """Admission control shed the request before it was dispatched.
+
+    A first-class flow-control outcome, not a fault: the target is alive
+    and its binding is valid, but its bounded queue had no room (or the
+    request's deadline was already hopeless).  Carries the server-computed
+    ``retry_after`` pushback hint -- the simulated-ms delay after which a
+    retry has a realistic chance of being admitted.  RetryPolicy honours
+    the hint instead of treating the reply as a stale binding.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class InvocationFailed(RemoteError):
     """The remote method raised an unexpected exception."""
 

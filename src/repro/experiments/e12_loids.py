@@ -54,7 +54,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     # Clone one class so two allocators serve the same *family* but
     # distinct class ids (clone instances carry the clone's class id).
     system.call(class_bindings[0].loid, "Clone")
-    for c, cls in enumerate(class_bindings):
+    for cls in class_bindings:
         for _i in range(instances_per_class):
             binding = system.call(cls.loid, "Create", {})
             all_loids.append(binding.loid)

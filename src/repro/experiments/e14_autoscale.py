@@ -106,7 +106,7 @@ def _run_level(level: int, seed: int, quick: bool, autoscaled: bool):
         for i in range(N_CLIENTS)
     ]
     routers = [ClonePoolRouter(client, hot, refresh=20.0) for client in clients]
-    by_client = {id(c): r for c, r in zip(clients, routers)}
+    by_client = {id(c): r for c, r in zip(clients, routers, strict=True)}
     for router in routers:
         router.start()
 
@@ -268,7 +268,7 @@ def run(
     )
     result.check(
         "peak clone count grows monotonically with offered load",
-        all(a <= b for a, b in zip(clone_counts, clone_counts[1:]))
+        all(a <= b for a, b in zip(clone_counts, clone_counts[1:], strict=False))
         and clone_counts[-1] > clone_counts[0],
         f"counts={clone_counts}",
     )

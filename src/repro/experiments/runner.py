@@ -41,6 +41,7 @@ from repro.experiments import (
     e12_loids,
     e13_availability,
     e14_autoscale,
+    e15_overload,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -59,6 +60,7 @@ RUNNERS = {
     "e12": e12_loids.run,
     "e13": e13_availability.run,
     "e14": e14_autoscale.run,
+    "e15": e15_overload.run,
     "a1": ablation_propagation.run,
     "a2": ablation_caching.run,
     "a3": run_ttl,
@@ -105,14 +107,16 @@ def run_one(
     faults: Optional[float] = None,
     report: Optional[str] = None,
     autoscale: Optional[float] = None,
+    overload: Optional[float] = None,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
 
     The optional keywords are forwarded only to runners that declare them:
     ``trace`` (an output directory) to trace-aware experiments, ``faults``
     (a chaos intensity) and ``report`` (an artifact directory) to
-    fault-aware ones, ``autoscale`` (a max load multiplier) to e14.  The
-    rest run exactly as without the flags.
+    fault-aware ones, ``autoscale`` (a max load multiplier) to e14,
+    ``overload`` (a top offered-load multiplier) to e15.  The rest run
+    exactly as without the flags.
     """
     started = time.perf_counter()
     try:
@@ -123,6 +127,7 @@ def run_one(
             ("faults", faults),
             ("report", report),
             ("autoscale", autoscale),
+            ("overload", overload),
         ):
             if value is not None and _accepts(runner, keyword):
                 kwargs[keyword] = value
@@ -153,6 +158,7 @@ def run_many(
     faults: Optional[float] = None,
     report: Optional[str] = None,
     autoscale: Optional[float] = None,
+    overload: Optional[float] = None,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
 
@@ -164,7 +170,7 @@ def run_many(
     at any ``jobs``.
     """
     tasks = [
-        (name, quick, seed, trace, faults, report, autoscale)
+        (name, quick, seed, trace, faults, report, autoscale, overload)
         for seed in seeds
         for name in names
     ]
@@ -191,7 +197,7 @@ def render_summary(outcomes: Sequence[RunOutcome], multi_seed: bool) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the Legion paper's claims (E1-E12, A1-A4).",
+        description="Reproduce the Legion paper's claims (E1-E15, A1-A4).",
     )
     parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--full", action="store_true", help="full-size sweeps")
@@ -262,6 +268,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "default 8x"
         ),
     )
+    parser.add_argument(
+        "--overload",
+        type=float,
+        default=None,
+        metavar="MULT",
+        help=(
+            "top offered-load multiplier for overload-aware experiments: "
+            "e15 then sweeps offered load up to MULT x capacity instead "
+            "of its default 10x"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -290,6 +307,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         faults=args.faults,
         report=args.report,
         autoscale=args.autoscale,
+        overload=args.overload,
     )
 
     for outcome in outcomes:

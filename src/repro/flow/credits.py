@@ -1,0 +1,86 @@
+"""Credit-based backpressure: caller-side in-flight windows.
+
+Admission control protects a server once traffic arrives; credits stop
+the traffic from piling up on the wire in the first place.  Every caller
+holds a window of ``credit_window`` credits per (target LOID identity,
+address element): sending a request spends one credit, and *any*
+settlement of that request -- reply, shed, delivery failure, timeout,
+cancellation -- returns it.  A caller with no credits left parks on a
+future that the next settlement resolves (credit hand-off), so in-flight
+work toward any one component is bounded end-to-end without polling.
+
+Because timeouts are themselves settlements, a lost reply can delay a
+credit by at most the request deadline: the window can stall, never
+deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.simkernel.futures import SimFuture
+
+
+class CreditWindow:
+    """One (LOID identity, address element) window of send permits."""
+
+    __slots__ = ("capacity", "available", "waiters")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.available = capacity
+        #: Callers parked until a settlement hands them a credit.
+        self.waiters: Deque[SimFuture] = deque()
+
+    def try_acquire(self) -> Optional[SimFuture]:
+        """Spend one credit.
+
+        Returns ``None`` when a credit was available; otherwise a future
+        that resolves *already holding* the credit (no second acquire).
+        """
+        if self.available > 0:
+            self.available -= 1
+            return None
+        waiter = SimFuture("credit-wait")
+        self.waiters.append(waiter)
+        return waiter
+
+    def release(self, _settled=None) -> None:
+        """Return one credit; doubles as a SimFuture done-callback."""
+        while self.waiters:
+            waiter = self.waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)  # hand the credit straight over
+                return
+        if self.available < self.capacity:
+            self.available += 1
+
+    @property
+    def headroom(self) -> bool:
+        """True when a send would not have to wait."""
+        return self.available > 0
+
+
+class CreditLedger:
+    """All of one runtime's credit windows, created on first use."""
+
+    __slots__ = ("capacity", "windows")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.windows: Dict[Tuple, CreditWindow] = {}
+
+    def window(self, identity, element) -> CreditWindow:
+        """The window for (LOID identity, address element)."""
+        key = (identity, element)
+        window = self.windows.get(key)
+        if window is None:
+            window = CreditWindow(self.capacity)
+            self.windows[key] = window
+        return window
+
+    def has_headroom(self, identity, element) -> bool:
+        """True when a send toward the pair would not wait (unknown = yes)."""
+        window = self.windows.get((identity, element))
+        return window is None or window.headroom

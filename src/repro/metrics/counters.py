@@ -48,6 +48,10 @@ class MetricsRegistry:
     """
 
     REQUESTS = "requests"
+    #: Conventional event name for requests shed by admission control
+    #: (repro.flow): counted *instead of* REQUESTS, never both, so
+    #: ``requests`` keeps meaning "admitted into dispatch".
+    SHED = "shed"
 
     def __init__(self) -> None:
         self._counts: Dict[ComponentId, Dict[str, int]] = defaultdict(

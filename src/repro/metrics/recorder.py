@@ -62,7 +62,7 @@ class SeriesRecorder:
         """
         pts = [
             (x, v)
-            for (x, values), v in zip(self._rows, self.series(name))
+            for (x, values), v in zip(self._rows, self.series(name), strict=True)
             if v is not None
         ]
         if log_log:
@@ -117,10 +117,14 @@ class SeriesRecorder:
         lines = []
         if title:
             lines.append(title)
-        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append(
+            "  ".join(h.rjust(w) for h, w in zip(header, widths, strict=True))
+        )
         lines.append("  ".join("-" * w for w in widths))
         for row in rows:
-            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths, strict=True))
+            )
         return "\n".join(lines)
 
     @staticmethod

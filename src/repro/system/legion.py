@@ -124,8 +124,14 @@ class LegionSystem:
         agent_cache_capacity: int = 4096,
         binding_ttl: Optional[float] = None,
         latency_model: Optional[LatencyModel] = None,
+        flow=None,
     ) -> "LegionSystem":
-        """Assemble a system with one jurisdiction per site."""
+        """Assemble a system with one jurisdiction per site.
+
+        ``flow`` installs a :class:`repro.flow.FlowConfig` before any
+        object activates, so every ObjectServer and runtime in the system
+        (bootstrap included) is built under the same flow-control regime.
+        """
         if not sites:
             raise BootstrapError("a Legion system needs at least one site")
         system = cls()
@@ -139,6 +145,7 @@ class LegionSystem:
             network=system.network,
             rng=rng,
             relations=RelationGraph(),
+            flow=flow,
         )
 
         # -- host-id allocation first: the core objects need a host to sit on.

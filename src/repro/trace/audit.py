@@ -97,6 +97,62 @@ class TraceAudit:
             f"over {len(fans)} nodes",
         )
 
+    # -- flow control: admitted load bound --------------------------------------
+
+    def admitted_load_bound(
+        self,
+        capacity: int,
+        prefix: str = "",
+        name: str = "trace: admitted load <= configured capacity",
+    ) -> AuditFinding:
+        """No component under ``prefix`` ever ran > ``capacity`` handles at once.
+
+        The flow-control twin of the fan-in bound: admission control
+        promises at most ``capacity`` concurrently-dispatched requests
+        per server, and the handle spans are the ground truth of what
+        actually ran.  Open-interval overlap is computed by a boundary
+        sweep (see :meth:`LoadLedger.peak_concurrency`).
+        """
+        peaks = self.ledger.peak_concurrency(prefix)
+        if not peaks:
+            return AuditFinding(name, False, f"no handle spans match {prefix!r}")
+        worst = max(peaks, key=lambda c: (peaks[c], c))
+        return AuditFinding(
+            name,
+            peaks[worst] <= capacity,
+            f"max concurrent {peaks[worst]} ({worst}) <= {capacity} "
+            f"over {len(peaks)} components",
+        )
+
+    def shed_reconciles_with(
+        self,
+        counted: Dict[str, int],
+        prefix: str = "",
+        name: str = "trace: shed spans reconcile with shed counters",
+    ) -> AuditFinding:
+        """Span-derived shed counts equal the metrics registry's.
+
+        ``counted`` maps component labels to the registry's "shed"
+        counters; the tracing layer may not invent or lose sheds any more
+        than it may handled load.
+        """
+        ledger_sheds = self.ledger.shed_counts(prefix)
+        expected = {
+            comp: n for comp, n in counted.items() if comp.startswith(prefix) and n
+        }
+        mismatches = sorted(
+            comp
+            for comp in set(ledger_sheds) | set(expected)
+            if ledger_sheds.get(comp, 0) != expected.get(comp, 0)
+        )
+        return AuditFinding(
+            name,
+            not mismatches,
+            "all components agree"
+            if not mismatches
+            else f"mismatch at {mismatches[:3]}",
+        )
+
     # -- reconciliation ---------------------------------------------------------
 
     def reconciles_with(

@@ -115,14 +115,14 @@ def text_summary(spans: Iterable[Span], title: str = "trace summary") -> str:
         lines.append(
             "  ".join(
                 h.ljust(w) if i == 0 else h.rjust(w)
-                for i, (h, w) in enumerate(zip(header, widths))
+                for i, (h, w) in enumerate(zip(header, widths, strict=True))
             )
         )
         for row in rows:
             lines.append(
                 "  ".join(
                     c.ljust(w) if i == 0 else c.rjust(w)
-                    for i, (c, w) in enumerate(zip(row, widths))
+                    for i, (c, w) in enumerate(zip(row, widths, strict=True))
                 )
             )
 

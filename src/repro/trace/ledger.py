@@ -37,6 +37,8 @@ class LoadLedger:
             self._children.setdefault(span.parent_id, []).append(span)
         #: component → number of requests it handled.
         self.handled: Dict[str, int] = {}
+        #: component → requests its admission control shed (repro.flow).
+        self.sheds: Dict[str, int] = {}
         #: component → distinct sender components (fan-in sets).
         self.sources: Dict[str, Set[str]] = {}
         t0, t1 = None, None
@@ -45,6 +47,9 @@ class LoadLedger:
             end = span.end if span.end is not None else span.start
             t0 = start if t0 is None or start < t0 else t0
             t1 = end if t1 is None or end > t1 else t1
+            if span.kind == "shed":
+                self.sheds[span.component] = self.sheds.get(span.component, 0) + 1
+                continue
             if span.kind != "handle":
                 continue
             self.handled[span.component] = self.handled.get(span.component, 0) + 1
@@ -101,6 +106,52 @@ class LoadLedger:
             return ("", 0)
         comp = max(loads, key=lambda c: (loads[c], c))
         return (comp, loads[comp])
+
+    def shed_counts(self, prefix: str = "") -> Dict[str, int]:
+        """component → requests shed by admission control ("shed" spans).
+
+        One instant span is recorded per shed *logical* request (batch
+        sheds emit one per member), so these counts reconcile exactly
+        with the ``MetricsRegistry`` "shed" counters and the FaultLog's
+        "request-shed" observations.
+        """
+        return {
+            comp: n for comp, n in self.sheds.items() if comp.startswith(prefix)
+        }
+
+    def peak_concurrency(self, prefix: str = "") -> Dict[str, int]:
+        """component → max simultaneously-open "handle" spans.
+
+        The trace's view of admitted concurrency: under admission control
+        (repro.flow) this must never exceed the configured capacity.  The
+        boundary sweep orders ends before starts at equal times, so
+        back-to-back dispatches at one simulated instant do not read as
+        overlap; zero-duration handles (synchronous methods) count 1 at
+        their instant.
+        """
+        events: Dict[str, List[Tuple[float, int]]] = {}
+        instantaneous: Set[str] = set()
+        for span in self.spans:
+            if span.kind != "handle" or not span.component.startswith(prefix):
+                continue
+            end = span.end if span.end is not None else span.start
+            if end <= span.start:
+                instantaneous.add(span.component)
+                continue
+            bounds = events.setdefault(span.component, [])
+            bounds.append((span.start, 1))
+            bounds.append((end, -1))
+        peaks: Dict[str, int] = {comp: 1 for comp in instantaneous}
+        for comp, bounds in events.items():
+            bounds.sort()  # (-1) sorts before (+1) at equal times
+            live = peak = 0
+            for _time, delta in bounds:
+                live += delta
+                if live > peak:
+                    peak = live
+            if peak > peaks.get(comp, 0):
+                peaks[comp] = peak
+        return peaks
 
     # -- fan-in ----------------------------------------------------------------
 

@@ -108,3 +108,40 @@ class WorkerImpl(LegionObjectImpl):
     def completed_count(self) -> int:
         """How many Compute() calls have finished."""
         return self.completed
+
+
+class SerialServiceImpl(LegionObjectImpl):
+    """A strictly serial server: one request at a time, FIFO.
+
+    The overload workload (E15).  Each ``Work()`` call occupies the
+    service for exactly ``service_time`` simulated ms, queued behind any
+    call that arrived earlier -- so the object's sustainable throughput
+    is precisely ``1 / service_time`` requests per ms, and offered load
+    beyond that *must* queue, shed, or time out.  ``busy_until`` makes
+    the FIFO discipline explicit without a lock: each arrival claims the
+    next free slot and sleeps until its slot ends.
+    """
+
+    def __init__(self, service_time: float = 1.0) -> None:
+        #: Simulated ms of exclusive service per Work() call.
+        self.service_time = float(service_time)
+        self.busy_until = 0.0
+        self.completed = 0
+
+    def persistent_attributes(self) -> List[str]:
+        return ["service_time", "busy_until", "completed"]
+
+    @legion_method("float Work()")
+    def work(self):
+        """Occupy the service for one slot; returns completion time."""
+        now = self.services.kernel.now
+        start = self.busy_until if self.busy_until > now else now
+        self.busy_until = start + self.service_time
+        yield Timeout(self.busy_until - now)
+        self.completed += 1
+        return self.busy_until
+
+    @legion_method("int Completed()")
+    def completed_count(self) -> int:
+        """How many Work() calls have finished."""
+        return self.completed

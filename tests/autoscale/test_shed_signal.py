@@ -1,0 +1,93 @@
+"""The autoscaler reads admission sheds as demand, not just served rate.
+
+A server behind admission control *serves* at most its capacity, so the
+historical served-rate trigger goes blind exactly when scaling matters
+most: the overflow lives in the SHED counter.  These tests drive the
+controller with manufactured shed counters (deterministic, no real
+overload choreography needed) and pin both halves of the policy:
+sheds force a grow, and a nonzero shed rate vetoes a shrink.
+"""
+
+from __future__ import annotations
+
+from repro.autoscale import AutoscaleConfig, CloneController
+from repro.metrics.counters import ComponentId, ComponentKind, MetricsRegistry
+from repro.system.legion import LegionSystem, SiteSpec
+from repro.workloads.apps import CounterImpl
+
+
+def _build(seed=9):
+    system = LegionSystem.build([SiteSpec("east", hosts=3)], seed=seed)
+    cls = system.create_class("Hot", factory=CounterImpl)
+    return system, cls
+
+
+def _shed_component(cls):
+    return ComponentId(ComponentKind.CLASS_OBJECT, str(cls.loid))
+
+
+def test_shed_rate_forces_scale_up_despite_idle_served_rate():
+    system, cls = _build()
+    component = _shed_component(cls)
+    controller = CloneController(
+        system,
+        cls,
+        AutoscaleConfig(
+            high_water=1000.0,  # served-rate trigger effectively off
+            low_water=999.0,
+            shed_water=0.5,
+            cooldown=0.0,
+            tick=10.0,
+            min_clones=1,  # the grown clone stays once sheds dry up
+            max_clones=4,
+        ),
+    )
+    # 200 admission sheds land before the first tick samples.
+    system.kernel.schedule(
+        5.0,
+        lambda: system.services.metrics.incr(
+            component, MetricsRegistry.SHED, 200
+        ),
+    )
+    controller.start()
+    system.kernel.run(until=120.0)
+    controller.stop()
+    kinds = [kind for _t, kind, _loid in controller.actions]
+    assert "spawn" in kinds, controller.actions
+    clones = system.call(cls.loid, "GetClones")
+    assert len(clones) >= 1
+
+
+def test_nonzero_shed_rate_vetoes_shrink_until_dry():
+    system, cls = _build(seed=10)
+    component = _shed_component(cls)
+    clone = system.call(cls.loid, "Clone")
+    assert clone is not None
+    controller = CloneController(
+        system,
+        cls,
+        AutoscaleConfig(
+            high_water=10.0,
+            low_water=5.0,  # idle pool is always below this
+            cooldown=0.0,
+            tick=10.0,
+            max_clones=4,
+        ),
+    )
+    # A trickle of sheds (below any grow threshold -- shed_water is inf by
+    # default) keeps landing until t=50: the pool must not shrink while
+    # customers are still being turned away.
+    for t in range(1, 50, 5):
+        system.kernel.schedule(
+            float(t),
+            lambda: system.services.metrics.incr(component, MetricsRegistry.SHED),
+        )
+    controller.start()
+    system.kernel.run(until=200.0)
+    controller.stop()
+    retires = [t for t, kind, _loid in controller.actions if kind == "retire"]
+    assert retires, "the idle pool must eventually shrink once sheds stop"
+    assert all(t > 50.0 for t in retires), (
+        f"shrink fired while sheds were still arriving: {controller.actions}"
+    )
+    assert len(retires) == 1  # only one clone existed

@@ -23,6 +23,7 @@ from repro.experiments import (
     e12_loids,
     e13_availability,
     e14_autoscale,
+    e15_overload,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -41,6 +42,7 @@ ALL_EXPERIMENTS = [
     e12_loids,
     e13_availability,
     e14_autoscale,
+    e15_overload,
     ablation_propagation,
     ablation_caching,
 ]

@@ -4,13 +4,14 @@
 optimisation: every experiment builds its own seeded universe, so the
 rendered reports -- claim tables, check details, kernel fingerprints --
 must match the sequential reference run byte for byte.  This matrix pins
-that across E1-E14, including e14 whose autoscaler actions (spawn/retire
-schedules) feed directly into the printed table.
+that across E1-E15, including e14 whose autoscaler actions (spawn/retire
+schedules) feed directly into the printed table and e15 whose per-call
+overload records decide every goodput figure.
 """
 
 from repro.experiments.runner import RUNNERS, run_many
 
-MATRIX = [f"e{i}" for i in range(1, 15)]
+MATRIX = [f"e{i}" for i in range(1, 16)]
 
 
 def test_registry_covers_the_matrix():
@@ -24,6 +25,6 @@ def test_jobs_1_and_jobs_4_reports_are_byte_identical():
     assert [(o.name, o.seed) for o in sequential] == [
         (o.name, o.seed) for o in parallel
     ]
-    for seq, par in zip(sequential, parallel):
+    for seq, par in zip(sequential, parallel, strict=True):
         assert seq.passed, f"{seq.name} failed sequentially:\n{seq.report}"
         assert seq.report == par.report, f"{seq.name} diverged across --jobs"

@@ -13,10 +13,12 @@ from hypothesis import strategies as st
 from repro.faults.driver import ChaosDriver
 from repro.faults.log import FaultLog
 from repro.faults.plan import FaultPlan
+from repro.flow.config import FlowConfig
+from repro.metrics.counters import ComponentKind, MetricsRegistry
 from repro.net.latency import LinkClass
 from repro.system.legion import LegionSystem, SiteSpec
-from repro.workloads.apps import CounterImpl
-from repro.workloads.generators import TrafficDriver
+from repro.workloads.apps import CounterImpl, SerialServiceImpl
+from repro.workloads.generators import OpenLoopDriver, TrafficDriver
 
 
 def _all_runtimes(system, clients):
@@ -39,6 +41,7 @@ def _reconcile(runtime):
         + stats.timeouts
         + stats.delivery_failures
         + stats.cancelled
+        + stats.shed
     )
     return stats.requests_sent == settled and not runtime._pending
 
@@ -87,6 +90,58 @@ def test_every_request_settles(seed, drop_wide, drop_site, partition_at):
     stats = stats_future.result()
     assert stats.calls_issued == len(clients) * 8
     assert stats.calls_succeeded + stats.calls_failed == stats.calls_issued
+
+    for runtime in _all_runtimes(system, clients):
+        assert _reconcile(runtime), (
+            f"{runtime!r} leaked a request: {runtime.stats}"
+        )
+
+
+def test_shed_storm_settles_and_every_shed_ledger_agrees():
+    """Overload instead of faults: sheds are settlements, and the three
+    shed ledgers (client wire replies, server SHED counters, FaultLog
+    incidents) count the same events."""
+    system = LegionSystem.build(
+        [SiteSpec("main", hosts=2)],
+        seed=21,
+        flow=FlowConfig(
+            capacity=1,
+            queue_limit=2,
+            service_estimate=2.0,
+            admit_kinds=frozenset({ComponentKind.APPLICATION}),
+        ),
+    )
+    system.services.fault_log = FaultLog()
+    cls = system.create_class(
+        "SerialService", factory=lambda: SerialServiceImpl(service_time=2.0)
+    )
+    binding = system.create_instance(cls.loid)
+    clients = [system.new_client(f"c{i}") for i in range(3)]
+    system.reset_measurements()
+
+    driver = OpenLoopDriver(
+        system.kernel,
+        clients,
+        choose_call=lambda _c: (binding.loid, "Work", ()),
+        interval=1.0,  # 3 req/ms offered against 0.5 req/ms capacity
+        duration=60.0,
+        timeout=50.0,
+    )
+    stats_future = driver.start()
+    system.kernel.run()
+
+    stats = stats_future.result()
+    assert stats.calls_issued == stats.calls_succeeded + stats.calls_failed
+
+    wire_sheds = sum(c.runtime.stats.shed for c in clients)
+    metric_sheds = sum(
+        system.services.metrics.snapshot(None, MetricsRegistry.SHED).values()
+    )
+    log_sheds = sum(
+        1 for i in system.services.fault_log.observed if i.kind == "request-shed"
+    )
+    assert wire_sheds > 0, "the storm must actually overflow admission"
+    assert wire_sheds == metric_sheds == log_sheds
 
     for runtime in _all_runtimes(system, clients):
         assert _reconcile(runtime), (

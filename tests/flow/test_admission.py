@@ -1,0 +1,218 @@
+"""Admission control: bounded queues, deadline/priority shedding, pushback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.method import MethodResult
+from repro.core.runtime import RetryPolicy
+from repro.core.server import ObjectServer
+from repro.errors import Overloaded
+from repro.flow.config import FlowConfig
+from repro.metrics.counters import ComponentKind, MetricsRegistry
+from repro.naming.loid import LOID
+from tests.core.conftest import EchoImpl, start_object
+
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def _flow_server(services, impl, host, seq, **flow_kwargs) -> ObjectServer:
+    loid = LOID.for_instance(91, seq, services.secret)
+    return ObjectServer(
+        services, loid, impl, host=host, flow=FlowConfig(**flow_kwargs)
+    )
+
+
+def _pair(services, **flow_kwargs):
+    """(caller, flow-governed callee) with seeded bindings."""
+    caller = start_object(services, EchoImpl("caller"), host=1)
+    callee = _flow_server(services, EchoImpl("callee"), 2, 901, **flow_kwargs)
+    caller.runtime.seed_binding(callee.binding())
+    callee.runtime.seed_binding(caller.binding())
+    return caller, callee
+
+
+def test_capacity_overflow_sheds_with_retry_after(services):
+    caller, callee = _pair(
+        services, capacity=1, queue_limit=0, service_estimate=5.0
+    )
+    caller.runtime.retry_policy = NO_RETRY
+    kernel = services.kernel
+    futs = [
+        kernel.spawn(caller.runtime.invoke(callee.loid, "Slow", 10.0))
+        for _ in range(3)
+    ]
+    kernel.run()
+    settled = [f.exception() for f in futs]
+    shed = [e for e in settled if isinstance(e, Overloaded)]
+    ok = [f for f in futs if f.exception() is None]
+    assert len(ok) == 1 and len(shed) == 2
+    for exc in shed:
+        assert exc.retry_after >= 5.0  # at least one service estimate
+    assert caller.runtime.stats.shed == 2
+    assert callee.admission.stats.admitted == 1
+    assert callee.admission.stats.shed == {"capacity": 2}
+    # Counter vocabulary: admitted work is REQUESTS, shed work is SHED.
+    assert services.metrics.get(callee.component, MetricsRegistry.REQUESTS) == 1
+    assert services.metrics.get(callee.component, MetricsRegistry.SHED) == 2
+
+
+def test_queue_admits_up_to_limit_then_sheds(services):
+    caller, callee = _pair(
+        services, capacity=1, queue_limit=2, service_estimate=1.0
+    )
+    caller.runtime.retry_policy = NO_RETRY
+    kernel = services.kernel
+    futs = [
+        kernel.spawn(caller.runtime.invoke(callee.loid, "Slow", 2.0))
+        for _ in range(5)
+    ]
+    kernel.run()
+    ok = [f for f in futs if f.exception() is None]
+    shed = [f for f in futs if isinstance(f.exception(), Overloaded)]
+    # 1 dispatched + 2 queued survive; the other 2 find the queue full.
+    assert len(ok) == 3 and len(shed) == 2
+    assert callee.admission.stats.queued == 2
+    assert callee.admission.stats.shed == {"capacity": 2}
+
+
+def test_hopeless_deadline_is_shed_on_arrival(services):
+    # Caller-side flow config stamps deadlines on invocations.
+    services.flow = FlowConfig(
+        capacity=1, queue_limit=8, service_estimate=5.0
+    )
+    caller, callee = _pair(
+        services, capacity=1, queue_limit=8, service_estimate=5.0
+    )
+    caller.runtime.retry_policy = NO_RETRY
+    kernel = services.kernel
+    # Occupy the only slot far past the second call's deadline.
+    blocker = kernel.spawn(caller.runtime.invoke(callee.loid, "Slow", 30.0))
+    doomed_holder = []
+    kernel.schedule(
+        0.5,
+        lambda: doomed_holder.append(
+            kernel.spawn(
+                caller.runtime.invoke(callee.loid, "Echo", "hi", timeout=3.0)
+            )
+        ),
+    )
+    kernel.run()
+    (doomed,) = doomed_holder
+    assert blocker.exception() is None
+    exc = doomed.exception()
+    assert isinstance(exc, Overloaded)
+    assert "deadline" in str(exc)
+    assert callee.admission.stats.shed == {"deadline": 1}
+
+
+def test_full_queue_evicts_worst_priority_waiter(services):
+    services.flow = FlowConfig(
+        capacity=1, queue_limit=1, service_estimate=1.0
+    )
+    caller, callee = _pair(
+        services, capacity=1, queue_limit=1, service_estimate=1.0
+    )
+    caller.runtime.retry_policy = NO_RETRY
+    kernel = services.kernel
+    runtime = caller.runtime
+    futs = {}
+
+    def fire(name, method, arg=None, priority=0):
+        args = () if arg is None else (arg,)
+        futs[name] = kernel.spawn(
+            runtime.invoke(callee.loid, method, *args, priority=priority)
+        )
+
+    fire("blocker", "Slow", 10.0)
+    # Staggered so arrival order at the callee is deterministic.
+    kernel.schedule(0.2, fire, "low", "Echo", "low")
+    kernel.schedule(0.4, fire, "high", "Echo", "high", 5)
+    kernel.run()
+    assert futs["blocker"].exception() is None
+    exc = futs["low"].exception()
+    assert isinstance(exc, Overloaded), "low-priority waiter should be evicted"
+    assert futs["high"].result() == "callee:high"
+    assert callee.admission.stats.shed == {"evicted": 1}
+
+
+def test_pushback_paced_retry_succeeds_without_rebinding(services):
+    caller, callee = _pair(
+        services, capacity=1, queue_limit=0, service_estimate=4.0
+    )
+    caller.runtime.retry_policy = RetryPolicy(max_attempts=6)
+    kernel = services.kernel
+    blocker = kernel.spawn(caller.runtime.invoke(callee.loid, "Slow", 6.0))
+    echo_holder = []
+    kernel.schedule(
+        0.5,
+        lambda: echo_holder.append(
+            kernel.spawn(caller.runtime.invoke(callee.loid, "Echo", "again"))
+        ),
+    )
+    kernel.run()
+    (echo,) = echo_holder
+    assert blocker.exception() is None
+    assert echo.result() == "callee:again"
+    stats = caller.runtime.stats
+    # Shed replies are flow control, not stale bindings.
+    assert stats.shed >= 1
+    assert stats.stale_detected == 0
+    assert stats.rebinds == 0
+    assert stats.refreshes == 0
+    # The retry waited out the server's pushback hint: the echo could not
+    # land before the blocker's 6ms of service drained.
+    assert echo.result() == "callee:again"
+
+
+def test_admission_ignores_non_admitted_kinds(services):
+    cfg = FlowConfig(
+        capacity=1,
+        queue_limit=0,
+        admit_kinds=frozenset({ComponentKind.APPLICATION}),
+    )
+    loid = LOID.for_instance(91, 950, services.secret)
+    infra = ObjectServer(
+        services,
+        loid,
+        EchoImpl("infra"),
+        host=3,
+        component_kind=ComponentKind.BINDING_AGENT,
+        flow=cfg,
+    )
+    assert infra.admission is None  # kind not admitted => no queue at all
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"capacity": 0},
+        {"queue_limit": -1},
+        {"service_estimate": 0.0},
+        {"credit_window": 0},
+        {"batch_window": -0.5},
+        {"batch_limit": 1},
+    ],
+)
+def test_flow_config_rejects_nonsense(kwargs):
+    with pytest.raises(ValueError):
+        FlowConfig(**kwargs)
+
+
+def test_flow_config_admits():
+    assert not FlowConfig().admits(ComponentKind.APPLICATION)
+    assert FlowConfig(capacity=2).admits(ComponentKind.APPLICATION)
+    restricted = FlowConfig(
+        capacity=2, admit_kinds=frozenset({ComponentKind.APPLICATION})
+    )
+    assert restricted.admits(ComponentKind.APPLICATION)
+    assert not restricted.admits(ComponentKind.BINDING_AGENT)
+
+
+def test_overloaded_marshalling_roundtrip():
+    wire = MethodResult.failure(Overloaded("queue full", retry_after=7.5))
+    assert not wire.ok
+    with pytest.raises(Overloaded) as info:
+        wire.unwrap()
+    assert info.value.retry_after == 7.5
+    assert "queue full" in str(info.value)

@@ -37,7 +37,7 @@ def _drive(config: AutoscaleConfig):
     controller.start()
     clients = [system.new_client(f"prop-{i}") for i in range(2)]
     routers = [ClonePoolRouter(client, hot, refresh=15.0) for client in clients]
-    by_client = {id(c): r for c, r in zip(clients, routers)}
+    by_client = {id(c): r for c, r in zip(clients, routers, strict=True)}
     for router in routers:
         router.start()
 
@@ -84,7 +84,9 @@ def test_policy_invariants_hold_for_random_watermarks(low, gap, cooldown):
     actions, burst_stats, trickle_stats = _drive(config)
 
     # No flapping: opposite-direction neighbours >= one cooldown apart.
-    for (t_prev, kind_prev, _), (t_next, kind_next, _) in zip(actions, actions[1:]):
+    for (t_prev, kind_prev, _), (t_next, kind_next, _) in zip(
+        actions, actions[1:], strict=False
+    ):
         if kind_prev != kind_next:
             assert t_next - t_prev >= cooldown, (
                 f"flap: {kind_prev}@{t_prev} then {kind_next}@{t_next} "

@@ -111,7 +111,7 @@ class TestRelationGraphProperties:
         """Random linear derivations always give one sink and full ancestry."""
         graph = RelationGraph()
         loids = [LOID.for_class(cid) for cid in class_ids]
-        for child, parent in zip(loids[1:], loids[:-1]):
+        for child, parent in zip(loids[1:], loids[:-1], strict=True):
             graph.record_kind_of(child, parent)
         assert graph.sinks() == [loids[0]]
         chain = graph.ancestry(loids[-1])
