@@ -1,0 +1,195 @@
+"""Per-feature ablation of the compiled invoke/dispatch call path.
+
+The call-path compiler (``repro.core.callpath``) promises that a
+*disabled* middleware stage costs zero instructions on the hot path:
+the per-``(runtime | server, FlowConfig, tracer, policy)`` pipeline is
+selected at configuration time, not guarded at call time.  This bench
+prices that promise per feature: each row builds a fresh two-site
+system with exactly one feature enabled, warms the call path, and
+measures warm ``system.call`` round trips.
+
+Rows (toggled independently, never stacked):
+
+* ``plain``     -- the zero-middleware baseline every other row is
+  priced against; this is the configuration the compiled fast path
+  serves with a single flat generator frame.
+* ``retry``     -- a deep retry budget (8 attempts, token bucket).
+  Success-path cost should be ~zero: retry accounting is compiled out
+  of the fast path and only engages on failure.
+* ``tracing``   -- an active SpanRecorder (every invocation, dispatch,
+  and resolution records spans).
+* ``flow``      -- admission control only (bounded server intake).
+* ``credits``   -- caller-side credit windows only.
+* ``batching``  -- a batch window with the bench method opted in (each
+  call rides the coalescing path, flushing by window).
+* ``autoscale`` -- a CloneController sampling load on the bench class
+  (watermarks set so the pool never actually scales).
+
+Runnable two ways:
+
+* ``PYTHONPATH=src python benchmarks/bench_invoke_path.py`` -- a table
+  of calls/sec and overhead vs ``plain``;
+* ``pytest benchmarks/bench_invoke_path.py`` -- smoke assertions that
+  every configuration still completes calls correctly.
+"""
+
+from __future__ import annotations
+
+import time
+
+CALLS = 300
+
+
+# ---------------------------------------------------------------- builders
+
+
+def _base_system(flow=None):
+    from repro.experiments.common import uniform_sites
+    from repro.system.legion import LegionSystem
+    from repro.workloads.apps import CounterImpl
+
+    system = LegionSystem.build(
+        uniform_sites(2, hosts_per_site=2), seed=42, flow=flow
+    )
+    cls = system.create_class("AblateCounter", factory=CounterImpl)
+    instance = system.create_instance(cls.loid, context_name="bench/ablate")
+    return system, cls, instance.loid
+
+
+def build_plain():
+    """All middleware off: the compiled fast path's home configuration."""
+    system, _cls, loid = _base_system()
+    return system, loid
+
+
+def build_retry():
+    """Deep retry budget; the success path should not notice."""
+    from repro.core.runtime import RetryPolicy
+
+    system, _cls, loid = _base_system()
+    system.console.runtime.retry_policy = RetryPolicy(max_attempts=8)
+    return system, loid
+
+
+def build_tracing():
+    """An active causal-trace recorder on every hop."""
+    system, _cls, loid = _base_system()
+    system.enable_tracing()
+    return system, loid
+
+
+def build_flow():
+    """Admission control only (no credits, no batching)."""
+    from repro.flow.config import FlowConfig
+
+    system, _cls, loid = _base_system(flow=FlowConfig(capacity=64))
+    return system, loid
+
+
+def build_credits():
+    """Caller-side credit windows only."""
+    from repro.flow.config import FlowConfig
+
+    system, _cls, loid = _base_system(flow=FlowConfig(credit_window=32))
+    return system, loid
+
+
+def build_batching():
+    """Request batching with the bench method opted in."""
+    from repro.flow.config import FlowConfig
+
+    system, _cls, loid = _base_system(
+        flow=FlowConfig(batch_window=0.5, batch_limit=16)
+    )
+    system.console.runtime.enable_batching("Ping")
+    return system, loid
+
+
+def build_autoscale():
+    """A CloneController sampling the bench class (never scaling)."""
+    from repro.autoscale.controller import AutoscaleConfig, CloneController
+
+    system, cls, loid = _base_system()
+    controller = CloneController(
+        system,
+        cls,
+        AutoscaleConfig(high_water=1e9, low_water=1e-9, min_clones=0),
+    )
+    controller.start()
+    return system, loid
+
+
+CONFIGS = [
+    ("plain", build_plain),
+    ("retry", build_retry),
+    ("tracing", build_tracing),
+    ("flow", build_flow),
+    ("credits", build_credits),
+    ("batching", build_batching),
+    ("autoscale", build_autoscale),
+]
+
+
+# ---------------------------------------------------------------- measuring
+
+
+def warm_calls(system, loid, n: int) -> None:
+    """``n`` fully-warm Ping round trips through the compiled path."""
+    for _ in range(n):
+        system.call(loid, "Ping")
+
+
+def measure_config(build, n: int = CALLS, repeat: int = 3) -> float:
+    """Best-of-``repeat`` calls/sec for one configuration."""
+    system, loid = build()
+    system.call(loid, "Ping")  # warm every cache on the path
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        warm_calls(system, loid, n)
+        best = min(best, time.perf_counter() - started)
+    return n / best
+
+
+def run_ablation(n: int = CALLS, repeat: int = 3) -> dict:
+    """calls/sec per configuration, keyed by row name."""
+    return {
+        name: measure_config(build, n=n, repeat=repeat)
+        for name, build in CONFIGS
+    }
+
+
+# ------------------------------------------------------------ pytest hooks
+
+
+def test_every_config_completes_calls():
+    """Smoke: each ablation row actually performs correct warm calls."""
+    for name, build in CONFIGS:
+        system, loid = build()
+        assert system.call(loid, "Ping") == "pong", name
+        assert system.call(loid, "Ping") == "pong", name
+
+
+def test_plain_config_compiles_fast_path():
+    """The baseline row really is the compiled zero-middleware pipeline."""
+    build = dict(CONFIGS)["plain"]
+    system, _loid = build()
+    runtime = system.console.runtime
+    assert runtime._plain_path
+    assert runtime._invoke_key.stages() == ()
+
+
+# ------------------------------------------------------------- standalone
+
+
+def main() -> None:
+    rates = run_ablation()
+    plain = rates["plain"]
+    print(f"{'config':<12} {'calls/sec':>12} {'vs plain':>10}")
+    for name, _build in CONFIGS:
+        rate = rates[name]
+        print(f"{name:<12} {rate:>12.0f} {plain / rate:>9.2f}x")
+
+
+if __name__ == "__main__":
+    main()

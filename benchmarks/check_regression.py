@@ -10,6 +10,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         BENCH_pr1.json BENCH_ci.json --tolerance 0.05
+
+``--max-regress 5`` is the percentage spelling of the same knob (fail on
+any >5% drop); the two are mutually exclusive.
 """
 
 from __future__ import annotations
@@ -31,6 +34,10 @@ def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
         # Not ops/sec but same polarity (higher is better): the flow arm's
         # delivered goodput as a fraction of capacity under 4x overload.
         yield "e15_goodput", float(metrics["e15_goodput"]["goodput_x_capacity"])
+    if "sweep_multicore" in metrics:
+        # Same polarity again: the sharded runner's serial/parallel wall
+        # ratio on the E15 full sweep (see bench_shards).
+        yield "sweep_multicore", float(metrics["sweep_multicore"]["speedup_x"])
 
 
 def main(argv=None) -> int:
@@ -40,8 +47,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.05,
+        default=None,
         help="allowed fractional slowdown per metric (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="allowed percentage slowdown per metric (--max-regress 5 == "
+        "--tolerance 0.05)",
     )
     parser.add_argument(
         "--require",
@@ -52,7 +67,23 @@ def main(argv=None) -> int:
         "guards against a gate that silently passes because a snapshot "
         "stopped carrying the metric it exists to protect",
     )
+    parser.add_argument(
+        "--min",
+        action="append",
+        default=[],
+        metavar="METRIC=VALUE",
+        dest="floors",
+        help="absolute floor on a candidate metric (repeatable); useful for "
+        "metrics like sweep_multicore whose baseline value is not "
+        "comparable across machines or CPU counts",
+    )
     args = parser.parse_args(argv)
+    if args.tolerance is not None and args.max_regress is not None:
+        parser.error("--tolerance and --max-regress are mutually exclusive")
+    if args.max_regress is not None:
+        args.tolerance = args.max_regress / 100.0
+    elif args.tolerance is None:
+        args.tolerance = 0.05
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
@@ -69,6 +100,14 @@ def main(argv=None) -> int:
         ]
         if missing:
             print(f"FAIL: required metric {name!r} missing from {', '.join(missing)}")
+            return 1
+    for spec in args.floors:
+        name, _, value = spec.partition("=")
+        if name not in cand:
+            print(f"FAIL: --min metric {name!r} missing from candidate")
+            return 1
+        if cand[name] < float(value):
+            print(f"FAIL: {name} = {cand[name]:g} below floor {float(value):g}")
             return 1
     floor = 1.0 - args.tolerance
     failures = []

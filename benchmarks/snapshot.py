@@ -5,6 +5,8 @@ Measures three layers and writes ``BENCH_<label>.json`` at the repo root:
 * **kernel**  -- events/sec on the timeout, spawn, and future-resume paths
   (the micro-workloads of :mod:`bench_kernel`);
 * **system**  -- end-to-end warm ``system.call`` latency and calls/sec;
+* **sweep_multicore** -- jurisdiction-sharded E15 full-sweep speedup at
+  ``--shards 4`` (see :mod:`bench_shards`);
 * **sweep**   -- wall time of the quick experiment sweep
   (``python -m repro.experiments``), optionally parallel via ``--jobs``.
 
@@ -36,6 +38,7 @@ from datetime import datetime, timezone
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_kernel  # noqa: E402  (sibling module, not a package)
+import bench_shards  # noqa: E402  (sibling module, not a package)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -94,6 +97,17 @@ def snapshot_e15_goodput() -> dict:
     }
 
 
+def snapshot_sweep_multicore(shards: int = 4) -> dict:
+    """Jurisdiction-sharded E15 full-sweep speedup at ``--shards N``.
+
+    Real pool wall-clock on multi-CPU machines; on a single-CPU container
+    the per-unit serial walls are measured for real and the N-worker
+    makespan is modelled (LPT), with the mode recorded in the snapshot.
+    See :mod:`bench_shards` for the full story.
+    """
+    return bench_shards.sweep_multicore(shards=shards, quick=False, seed=0)
+
+
 def snapshot_sweep(jobs: int = 1) -> dict:
     """Wall time of the full quick experiment sweep via the CLI."""
     cmd = [sys.executable, "-m", "repro.experiments"]
@@ -124,6 +138,7 @@ def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
             "kernel": snapshot_kernel(),
             "system_call": snapshot_system_call(),
             "e15_goodput": snapshot_e15_goodput(),
+            "sweep_multicore": snapshot_sweep_multicore(),
         },
     }
     if not skip_sweep:
@@ -151,6 +166,12 @@ def compare(path_a: str, path_b: str) -> int:
             b["metrics"]["system_call"]["calls_per_sec"],
         )
     )
+    multicore_a = a["metrics"].get("sweep_multicore")
+    multicore_b = b["metrics"].get("sweep_multicore")
+    if multicore_a and multicore_b:
+        rows.append(
+            ("sweep_multicore", multicore_a["speedup_x"], multicore_b["speedup_x"])
+        )
     for name, va, vb in rows:
         print(f"{name:<28} {va:>14.0f} {vb:>14.0f} {vb / va:>8.2f}x")
     sweep_a = a["metrics"].get("sweep")

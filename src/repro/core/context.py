@@ -115,6 +115,21 @@ class SystemServices:
     #: windows and (opt-in) request batching.  Like ``tracer``, every hot
     #: path guards on ``flow is None`` so the default costs nothing.
     flow: Any = None
+    #: Monotonic configuration epoch for the call-path compiler
+    #: (:mod:`repro.core.callpath`).  Bumped automatically whenever
+    #: ``tracer`` or ``flow`` is (re)assigned; compiled invoke/dispatch
+    #: pipelines compare their stamped epoch against this one integer and
+    #: recompile lazily when stale.
+    callpath_epoch: int = 0
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        object.__setattr__(self, name, value)
+        if name in ("tracer", "flow"):
+            # getattr-with-default: during dataclass __init__ the epoch
+            # field has not been assigned yet when tracer/flow land.
+            object.__setattr__(
+                self, "callpath_epoch", getattr(self, "callpath_epoch", 0) + 1
+            )
 
     def well_known_loid(self, role: str) -> LOID:
         """The LOID of a core object by role; raises if not bootstrapped."""

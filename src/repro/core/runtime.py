@@ -32,6 +32,7 @@ from repro.errors import (
     Overloaded,
     PartitionedError,
 )
+from repro.core.callpath import compile_invoke_path
 from repro.core.method import MethodInvocation, MethodResult
 from repro.flow.batching import RequestBatcher
 from repro.flow.credits import CreditLedger
@@ -228,6 +229,10 @@ class LegionRuntime:
         #: RetryPolicy.retry_tokens).
         self._retry_bucket: Optional[float] = None
         self._retry_bucket_at = 0.0
+        # Compile the invoke pipeline for the current configuration
+        # (repro.core.callpath); sets _invoke_key, _plain_path and the
+        # _callpath_epoch stamp the per-call staleness check compares.
+        compile_invoke_path(self)
 
     # ------------------------------------------------------------------ wiring
 
@@ -275,6 +280,8 @@ class LegionRuntime:
                 self, flow.batch_window, flow.batch_limit, flow.batch_methods
             )
         self._batcher.methods.update(methods)
+        # Runtime-local config change the services epoch cannot see.
+        compile_invoke_path(self)
         return True
 
     def _take_retry_token(self) -> bool:
@@ -689,13 +696,84 @@ class LegionRuntime:
         nested calls inside a server method should pass
         ``ctx.nested_env(self.loid)`` instead to preserve the Responsible
         Agent across hops.
+
+        A plain dispatcher: returns the compiled entry generator, so
+        configuration checks and the cache lookup happen when the call
+        first *runs*, not when the generator is created -- a spawned
+        invoke may start many events after the spawn, across a config
+        change.
         """
+        return self._invoke_entry(target, method, args, env, timeout, priority)
+
+    def _invoke_entry(self, target, method, args, env, timeout, priority):
+        """The compiled invoke pipeline (repro.core.callpath).
+
+        For the zero-middleware configuration (no tracer installed, no
+        flow config) hitting a warm single-element FIRST binding, the
+        whole call is this one flat generator frame: lookup, one
+        request, one reply, unwrap -- instead of the historical
+        invoke -> resolve -> call_address -> call_element ->
+        send_request generator nest.  Anything else -- enabled
+        middleware, a cold cache, a replicated address, a failed first
+        attempt, an exhausted attempt budget -- falls through to
+        :meth:`_invoke_loop`, the single source of truth for
+        retry/refresh/backoff semantics.
+        """
+        if self._callpath_epoch != self.services.callpath_epoch:
+            compile_invoke_path(self)
+        if not self._plain_path:
+            value = yield from self._invoke_general(
+                target, method, args, env, timeout, priority
+            )
+            return value
+        stats = self.stats
+        stats.invocations += 1
+        if env is None:
+            env = CallEnvironment.originating(self.loid)
+        policy = self.retry_policy
+        binding = self.lookup_binding(target)
+        if (
+            binding is None
+            or policy.max_attempts < 1
+            or binding.address.semantic is not AddressSemantic.FIRST
+            or len(binding.address.elements) != 1
+        ):
+            value = yield from self._invoke_loop(
+                target, method, args, env, timeout, priority,
+                None, False, policy, self.kernel.now, None, None,
+            )
+            return value
+        started = self.kernel.now
+        stats.attempts += 1
+        invocation = MethodInvocation(target=target, method=method, args=args, env=env)
+        try:
+            result: MethodResult = yield self.send_request(
+                binding.address.elements[0], invocation, timeout
+            )
+            return result.unwrap()
+        except (Overloaded, DeliveryFailure) as exc:
+            # PartitionedError and InvocationTimeout are DeliveryFailure
+            # subclasses, so this catches every retryable transport-level
+            # outcome; application errors propagate exactly as they do
+            # from call_element.  Re-raising the failure inside the
+            # loop's first iteration runs the identical handler chain
+            # (shed pushback / staleness / refresh) the general path
+            # would have run for a failed first attempt.
+            value = yield from self._invoke_loop(
+                target, method, args, env, timeout, priority,
+                None, False, policy, started, binding, exc,
+            )
+            return value
+
+    def _invoke_general(self, target, method, args, env, timeout, priority):
+        """The fully-featured invoke entry (tracing and/or flow enabled)."""
         self.stats.invocations += 1
         if env is None:
             env = CallEnvironment.originating(self.loid)
         tracer = self.services.tracer
+        traced = tracer is not None and tracer.active
         span = None
-        if tracer is not None and tracer.active:
+        if traced:
             # The logical operation's span: roots a fresh trace at a call
             # chain's origin, or nests under the server dispatch span the
             # caller's environment carries (ctx.nested_env propagation).
@@ -707,125 +785,12 @@ class LegionRuntime:
             )
             span.annotate(target=str(target))
             env = env.with_trace(span.context)
-        policy = self.retry_policy
-        started = self.kernel.now
         try:
-            binding: Optional[Binding] = None
-            last_error: Optional[BaseException] = None
-            pushback = 0.0
-            for attempt in range(1, policy.max_attempts + 1):
-                if attempt > 1:
-                    if not self._take_retry_token():
-                        break
-                    delay = policy.backoff_delay(
-                        attempt, self.services.rng.stream("retry-backoff")
-                    )
-                    if pushback > 0.0:
-                        # The server told us when admission is plausible;
-                        # hammering the queue any earlier is wasted wire.
-                        if delay < pushback:
-                            delay = pushback
-                        pushback = 0.0
-                    if (
-                        policy.budget is not None
-                        and self.kernel.now - started + delay >= policy.budget
-                    ):
-                        self.stats.budget_exhausted += 1
-                        break
-                    if delay > 0.0:
-                        if tracer is not None and tracer.active:
-                            tracer.instant(
-                                "retry-backoff",
-                                "retry",
-                                parent=env.trace,
-                                component=self.component_label,
-                                attempt=attempt,
-                                delay=round(delay, 3),
-                            )
-                        yield Timeout(delay)
-                self.stats.attempts += 1
-                if binding is None:
-                    # Resolution is part of the attempt: the walk to the
-                    # agent (and onward to the class) crosses the same
-                    # faulty network the call does, so a patient policy
-                    # retries its partitions and losses under the same
-                    # backoff/budget instead of leaking them to the caller.
-                    try:
-                        binding = yield from self.resolve(target, trace=env.trace)
-                    except Overloaded as exc:
-                        # The resolution path itself (agent or class) shed
-                        # us; always retryable, paced by its pushback hint.
-                        last_error = exc
-                        if policy.honor_retry_after:
-                            pushback = exc.retry_after
-                        continue
-                    except PartitionedError as exc:
-                        if not policy.retry_partitions:
-                            raise
-                        last_error = exc
-                        continue
-                    except (DeliveryFailure, BindingNotFound) as exc:
-                        if not policy.retry_resolution_failures:
-                            raise
-                        last_error = exc
-                        continue
-                try:
-                    value = yield from self.call_address(
-                        binding.address, target, method, tuple(args), env, timeout,
-                        priority,
-                    )
-                    if span is not None and attempt > 1:
-                        span.annotate(attempts=attempt)
-                    return value
-                except Overloaded as exc:
-                    # Admission-control shed: the binding is *not* stale.
-                    # No invalidate, no refresh, no rebind -- just wait out
-                    # the server's retry_after hint and try again.
-                    last_error = exc
-                    if policy.honor_retry_after:
-                        pushback = exc.retry_after
-                except PartitionedError as exc:
-                    # The destination's site is unreachable; a refreshed
-                    # binding cannot help until the partition heals, and
-                    # retrying through intermediaries just multiplies traffic.
-                    # A patient policy instead backs off and waits the heal out.
-                    self.stats.stale_detected += 1
-                    if not policy.retry_partitions:
-                        raise
-                    last_error = exc
-                except DeliveryFailure as exc:
-                    # Stale binding (4.1.4): drop it and ask for a refresh,
-                    # passing the stale binding so the agent knows not to
-                    # hand back its own identical cached copy.
-                    self.stats.stale_detected += 1
-                    self.cache.invalidate_exact(binding)
-                    last_error = exc
-                    try:
-                        binding = yield from self._refresh_binding(
-                            binding, trace=env.trace
-                        )
-                        self.stats.rebinds += 1
-                    except BindingNotFound as missing:
-                        # The agent (or the recovery path behind it) found
-                        # nothing.  Usually fatal; a patient policy keeps the
-                        # old binding and retries -- recovery may still be
-                        # running, or the control path may be partitioned.
-                        if not policy.retry_resolution_failures:
-                            raise missing from exc
-                        last_error = missing
-                    except DeliveryFailure:
-                        # The refresh leg itself was lost (a lossy network,
-                        # not a stale binding).  Keep the old binding and let
-                        # the retry budget govern: the next attempt may get
-                        # through, and a genuinely dead address will exhaust
-                        # the attempts into BindingNotFound below.
-                        pass
-            if isinstance(last_error, (PartitionedError, Overloaded)):
-                raise last_error
-            raise BindingNotFound(
-                f"could not reach {target} after {policy.max_attempts} attempts",
-                loid=target,
-            ) from last_error
+            value = yield from self._invoke_loop(
+                target, method, args, env, timeout, priority,
+                span, traced, self.retry_policy, self.kernel.now, None, None,
+            )
+            return value
         except BaseException as exc:
             if span is not None:
                 span.status = type(exc).__name__
@@ -833,6 +798,155 @@ class LegionRuntime:
         finally:
             if span is not None:
                 tracer.finish(span)
+
+    def _invoke_loop(
+        self,
+        target,
+        method,
+        args,
+        env,
+        timeout,
+        priority,
+        span,
+        traced,
+        policy,
+        started,
+        binding: Optional[Binding],
+        injected: Optional[BaseException],
+    ):
+        """The resolution/call/refresh/retry loop behind every invoke.
+
+        ``traced`` is the per-invoke cached tracing predicate -- computed
+        once by the caller instead of re-testing ``tracer is not None
+        and tracer.active`` on every backoff.
+
+        ``binding``/``injected`` resume a fast-path attempt that already
+        went to the wire and failed: the injected exception is re-raised
+        inside the first iteration's try block (which is why that
+        iteration neither counts an attempt nor resolves -- the fast
+        path already did both), so the fallback behaves exactly as if
+        the loop itself had made the attempt.
+        """
+        tracer = self.services.tracer
+        last_error: Optional[BaseException] = None
+        pushback = 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                if not self._take_retry_token():
+                    break
+                delay = policy.backoff_delay(
+                    attempt, self.services.rng.stream("retry-backoff")
+                )
+                if pushback > 0.0:
+                    # The server told us when admission is plausible;
+                    # hammering the queue any earlier is wasted wire.
+                    if delay < pushback:
+                        delay = pushback
+                    pushback = 0.0
+                if (
+                    policy.budget is not None
+                    and self.kernel.now - started + delay >= policy.budget
+                ):
+                    self.stats.budget_exhausted += 1
+                    break
+                if delay > 0.0:
+                    if traced:
+                        tracer.instant(
+                            "retry-backoff",
+                            "retry",
+                            parent=env.trace,
+                            component=self.component_label,
+                            attempt=attempt,
+                            delay=round(delay, 3),
+                        )
+                    yield Timeout(delay)
+            if injected is None:
+                self.stats.attempts += 1
+            if binding is None:
+                # Resolution is part of the attempt: the walk to the
+                # agent (and onward to the class) crosses the same
+                # faulty network the call does, so a patient policy
+                # retries its partitions and losses under the same
+                # backoff/budget instead of leaking them to the caller.
+                try:
+                    binding = yield from self.resolve(target, trace=env.trace)
+                except Overloaded as exc:
+                    # The resolution path itself (agent or class) shed
+                    # us; always retryable, paced by its pushback hint.
+                    last_error = exc
+                    if policy.honor_retry_after:
+                        pushback = exc.retry_after
+                    continue
+                except PartitionedError as exc:
+                    if not policy.retry_partitions:
+                        raise
+                    last_error = exc
+                    continue
+                except (DeliveryFailure, BindingNotFound) as exc:
+                    if not policy.retry_resolution_failures:
+                        raise
+                    last_error = exc
+                    continue
+            try:
+                if injected is not None:
+                    error, injected = injected, None
+                    raise error
+                value = yield from self.call_address(
+                    binding.address, target, method, args, env, timeout,
+                    priority,
+                )
+                if span is not None and attempt > 1:
+                    span.annotate(attempts=attempt)
+                return value
+            except Overloaded as exc:
+                # Admission-control shed: the binding is *not* stale.
+                # No invalidate, no refresh, no rebind -- just wait out
+                # the server's retry_after hint and try again.
+                last_error = exc
+                if policy.honor_retry_after:
+                    pushback = exc.retry_after
+            except PartitionedError as exc:
+                # The destination's site is unreachable; a refreshed
+                # binding cannot help until the partition heals, and
+                # retrying through intermediaries just multiplies traffic.
+                # A patient policy instead backs off and waits the heal out.
+                self.stats.stale_detected += 1
+                if not policy.retry_partitions:
+                    raise
+                last_error = exc
+            except DeliveryFailure as exc:
+                # Stale binding (4.1.4): drop it and ask for a refresh,
+                # passing the stale binding so the agent knows not to
+                # hand back its own identical cached copy.
+                self.stats.stale_detected += 1
+                self.cache.invalidate_exact(binding)
+                last_error = exc
+                try:
+                    binding = yield from self._refresh_binding(
+                        binding, trace=env.trace
+                    )
+                    self.stats.rebinds += 1
+                except BindingNotFound as missing:
+                    # The agent (or the recovery path behind it) found
+                    # nothing.  Usually fatal; a patient policy keeps the
+                    # old binding and retries -- recovery may still be
+                    # running, or the control path may be partitioned.
+                    if not policy.retry_resolution_failures:
+                        raise missing from exc
+                    last_error = missing
+                except DeliveryFailure:
+                    # The refresh leg itself was lost (a lossy network,
+                    # not a stale binding).  Keep the old binding and let
+                    # the retry budget govern: the next attempt may get
+                    # through, and a genuinely dead address will exhaust
+                    # the attempts into BindingNotFound below.
+                    pass
+        if isinstance(last_error, (PartitionedError, Overloaded)):
+            raise last_error
+        raise BindingNotFound(
+            f"could not reach {target} after {policy.max_attempts} attempts",
+            loid=target,
+        ) from last_error
 
     # ---------------------------------------------------------------- teardown
 

@@ -137,18 +137,58 @@ def _run_level(intensity: float, seed: int, quick: bool):
     }
 
 
-def run(
+def shard_units(quick: bool = True, faults: Optional[float] = None) -> list:
+    """The independent work units of one E13 sweep (one per intensity).
+
+    Every level builds its own system, chaos plan, and fault log from
+    the seed, so levels may run in separate worker processes
+    (``--shards N``) in any order; only the *merge* -- the repair-traffic
+    overhead against the level-0 control -- is cross-level, and that
+    happens in :func:`shard_finish`.
+    """
+    if faults is not None:
+        return [0.0, float(faults)]
+    return [0.0, 1.0, 3.0] if quick else [0.0, 0.5, 1.0, 2.0, 4.0]
+
+
+def shard_measure(
+    intensity: float,
+    quick: bool = True,
+    seed: int = 0,
+    faults: Optional[float] = None,
+) -> dict:
+    """Run one intensity; reduce the live system to a picklable partial."""
+    out = _run_level(intensity, seed, quick)
+    log = out["log"]
+    return {
+        "intensity": intensity,
+        "stats": out["stats"],
+        "summary": log.summary(),
+        "lost": sorted(set(log.lost_objects())),
+        "recovered": sorted(set(log.recovered_objects())),
+        "fault_log_json": log.to_json(),
+        "state_intact": out["state_intact"],
+        "repair_messages": out["repair_messages"],
+        "sim_clock": out["sim_clock"],
+        "sim_events": out["sim_events"],
+    }
+
+
+def shard_finish(
+    partials,
     quick: bool = True,
     seed: int = 0,
     faults: Optional[float] = None,
     report: Optional[str] = None,
 ) -> ExperimentResult:
-    """Sweep fault intensity; verify availability stays at 100%.
+    """Merge level partials into the E13 result, in level order.
 
-    ``faults`` (the runner's ``--faults`` flag) replaces the sweep with
-    [0, faults]: a control level plus one chosen intensity.  ``report``
-    names a directory for the JSON availability/FaultLog artifact.
+    Partials are consumed in :func:`shard_units` order regardless of
+    worker completion order, so recorder rows, checks, the overhead
+    denominator (level 0's message count), and the report artifact are
+    byte-identical to the sequential run.
     """
+    by_level = {p["intensity"]: p for p in partials}
     recorder = SeriesRecorder(x_label="fault_intensity")
     result = ExperimentResult(
         experiment="E13",
@@ -160,19 +200,16 @@ def run(
         ),
         recorder=recorder,
     )
-    if faults is not None:
-        levels = [0.0, float(faults)]
-    else:
-        levels = [0.0, 1.0, 3.0] if quick else [0.0, 0.5, 1.0, 2.0, 4.0]
+    levels = shard_units(quick=quick, faults=faults)
     baseline_messages = None
     total_clock = 0.0
     total_events = 0
     report_rows = []
     saw_chaos = False
     for intensity in levels:
-        out = _run_level(intensity, seed, quick)
-        stats, log = out["stats"], out["log"]
-        summary = log.summary()
+        out = by_level[intensity]
+        stats = out["stats"]
+        summary = out["summary"]
         total_clock += out["sim_clock"]
         total_events += out["sim_events"]
         if intensity == 0.0 and baseline_messages is None:
@@ -202,8 +239,8 @@ def run(
             f"intensity={intensity:g}: state preserved through recovery",
             out["state_intact"],
         )
-        lost = set(log.lost_objects())
-        recovered = set(log.recovered_objects())
+        lost = set(out["lost"])
+        recovered = set(out["recovered"])
         result.check(
             f"intensity={intensity:g}: every lost object was recovered",
             lost <= recovered,
@@ -218,7 +255,7 @@ def run(
                 "calls_succeeded": stats.calls_succeeded,
                 "success_rate": stats.success_rate,
                 "repair_overhead": round(overhead, 6),
-                "fault_log": log.to_json(),
+                "fault_log": out["fault_log_json"],
             }
         )
     result.check(
@@ -231,9 +268,36 @@ def run(
         os.makedirs(report, exist_ok=True)
         path = os.path.join(report, f"e13-availability-seed{seed}.json")
         with open(path, "w") as fh:
-            json.dump({"seed": seed, "quick": quick, "levels": report_rows}, fh, indent=2, sort_keys=True)
+            json.dump(
+                {"seed": seed, "quick": quick, "levels": report_rows},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
         result.notes = f"report: {path}"
     return result
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    faults: Optional[float] = None,
+    report: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep fault intensity; verify availability stays at 100%.
+
+    ``faults`` (the runner's ``--faults`` flag) replaces the sweep with
+    [0, faults]: a control level plus one chosen intensity.  ``report``
+    names a directory for the JSON availability/FaultLog artifact.
+
+    Composed from the shard protocol, so the sequential run IS the
+    ``--shards 1`` reference the sharded runner reproduces.
+    """
+    partials = [
+        shard_measure(intensity, quick=quick, seed=seed, faults=faults)
+        for intensity in shard_units(quick=quick, faults=faults)
+    ]
+    return shard_finish(partials, quick=quick, seed=seed, faults=faults, report=report)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runner

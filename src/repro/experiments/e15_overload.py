@@ -230,19 +230,57 @@ def _run_level(
     }
 
 
-def run(
+def shard_units(quick: bool = True, overload: Optional[float] = None) -> list:
+    """The independent work units of one E15 sweep.
+
+    Each unit is one (offered-load level, arm) pair; every unit builds
+    its own single-site system from the seed and shares nothing with the
+    others, so units may run in separate worker processes
+    (``--shards N``) in any order.
+    """
+    top = max(2, int(overload)) if overload else 10
+    base = [1, 2, 4] if quick else [1, 2, 3, 4, 6, 8]
+    levels = [lvl for lvl in base if lvl < top] + [top]
+    return [(level, arm) for level in levels for arm in ("flow", "baseline")]
+
+
+def shard_measure(
+    unit,
+    quick: bool = True,
+    seed: int = 0,
+    overload: Optional[float] = None,
+    trace: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one (level, arm) unit; the returned dict is picklable.
+
+    The trace export (when tracing) happens worker-side; only its path
+    travels back.  ``audits`` are :class:`AuditFinding` dataclasses --
+    plain picklable records.
+    """
+    level, arm = unit
+    flow = arm == "flow"
+    out = _run_level(level, seed, quick, flow=flow, trace=trace if flow else None)
+    out["level"] = level
+    out["arm"] = arm
+    return out
+
+
+def shard_finish(
+    partials,
     quick: bool = True,
     seed: int = 0,
     overload: Optional[float] = None,
     trace: Optional[str] = None,
     report: Optional[str] = None,
 ) -> ExperimentResult:
-    """Sweep offered load x1..x10 capacity with and without flow control.
+    """Merge unit partials into the E15 result, in deterministic unit order.
 
-    ``overload`` (the runner's ``--overload`` flag) overrides the top
-    offered-load multiplier; ``trace`` enables the span-level admission
-    audit; ``report`` names a directory for the JSON goodput artifact.
+    Partials are consumed in :func:`shard_units` order regardless of
+    worker completion order, so recorder rows, checks, float
+    accumulation, and the report artifact are byte-identical to the
+    sequential run.
     """
+    by_unit = {(p["level"], p["arm"]): p for p in partials}
     recorder = SeriesRecorder(x_label="offered_x")
     result = ExperimentResult(
         experiment="E15",
@@ -255,9 +293,8 @@ def run(
         ),
         recorder=recorder,
     )
-    top = max(2, int(overload)) if overload else 10
-    base = [1, 2, 4] if quick else [1, 2, 3, 4, 6, 8]
-    levels = [lvl for lvl in base if lvl < top] + [top]
+    levels = sorted({level for level, _arm in shard_units(quick=quick, overload=overload)})
+    top = levels[-1]
     mid = 4 if 4 in levels else levels[len(levels) // 2]
 
     total_clock, total_events = 0.0, 0
@@ -266,8 +303,8 @@ def run(
     top_flow: Dict[str, Any] = {}
     mid_p99 = float("inf")
     for level in levels:
-        fl = _run_level(level, seed, quick, flow=True, trace=trace)
-        bl = _run_level(level, seed, quick, flow=False, trace=None)
+        fl = by_unit[(level, "flow")]
+        bl = by_unit[(level, "baseline")]
         total_clock += fl["sim_clock"] + bl["sim_clock"]
         total_events += fl["sim_events"] + bl["sim_events"]
         ratios[(level, "flow")] = fl["goodput"] / CAPACITY
@@ -354,6 +391,31 @@ def run(
         notes.append(f"report: {path}")
     result.notes = "\n".join(notes)
     return result
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    overload: Optional[float] = None,
+    trace: Optional[str] = None,
+    report: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep offered load x1..x10 capacity with and without flow control.
+
+    ``overload`` (the runner's ``--overload`` flag) overrides the top
+    offered-load multiplier; ``trace`` enables the span-level admission
+    audit; ``report`` names a directory for the JSON goodput artifact.
+
+    Composed from the shard protocol, so the sequential run IS the
+    ``--shards 1`` reference the sharded runner reproduces.
+    """
+    partials = [
+        shard_measure(unit, quick=quick, seed=seed, overload=overload, trace=trace)
+        for unit in shard_units(quick=quick, overload=overload)
+    ]
+    return shard_finish(
+        partials, quick=quick, seed=seed, overload=overload, trace=trace, report=report
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runner

@@ -126,15 +126,53 @@ def _run_config(
     return maxima, spans, counts
 
 
-def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> ExperimentResult:
-    """Sweep sites; compare mitigated vs strawman bottleneck growth.
+def shard_units(quick: bool = True) -> list:
+    """The independent work units of one E9 sweep.
 
-    With ``trace``, every mitigated configuration also records causal
-    spans; the claim is then re-checked from the *trace side*: the
-    span-ledger's max per-component load must be ~flat in system size,
-    and at every size the ledger must reconcile exactly with the request
-    counters the table is built from.
+    Each unit is one (configuration arm, system size) pair: every unit
+    builds its own :class:`LegionSystem` from the seed and shares
+    nothing with the others, so units may run in separate worker
+    processes (``--shards N``) in any order.
     """
+    sweep = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
+    return [
+        (arm, n_sites) for n_sites in sweep for arm in ("mitigated", "strawman")
+    ]
+
+
+def shard_measure(
+    unit, quick: bool = True, seed: int = 0, trace: Optional[str] = None
+) -> dict:
+    """Run one unit; returns a picklable partial for :func:`shard_finish`."""
+    arm, n_sites = unit
+    mitigated = arm == "mitigated"
+    maxima, spans, counts = _run_config(
+        n_sites,
+        mitigated=mitigated,
+        seed=seed,
+        quick=quick,
+        traced=mitigated and trace is not None,
+    )
+    return {
+        "arm": arm,
+        "n_sites": n_sites,
+        "maxima": maxima,
+        "spans": spans,
+        "counts": counts,
+    }
+
+
+def shard_finish(
+    partials, quick: bool = True, seed: int = 0, trace: Optional[str] = None
+) -> ExperimentResult:
+    """Merge unit partials into the E9 result, in deterministic unit order.
+
+    Partials are consumed in :func:`shard_units` order regardless of the
+    order workers finished in, so the recorder rows, the check list, and
+    the float accumulation of ``sim_clock`` are byte-identical to the
+    sequential run.
+    """
+    by_unit = {(p["arm"], p["n_sites"]): p for p in partials}
     recorder = SeriesRecorder(x_label="sites")
     result = ExperimentResult(
         experiment="E9",
@@ -153,10 +191,9 @@ def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> Exper
     reconciliations = []
     last_spans = None
     for n_sites in sweep:
-        mitigated, spans, counts = _run_config(
-            n_sites, mitigated=True, seed=seed, quick=quick, traced=trace is not None
-        )
-        strawman, _, _ = _run_config(n_sites, mitigated=False, seed=seed, quick=quick)
+        mit = by_unit[("mitigated", n_sites)]
+        mitigated, spans, counts = mit["maxima"], mit["spans"], mit["counts"]
+        strawman = by_unit[("strawman", n_sites)]["maxima"]
         result.sim_clock += mitigated["sim_clock"] + strawman["sim_clock"]
         result.sim_events += int(mitigated["sim_events"] + strawman["sim_events"])
         if spans is not None:
@@ -225,6 +262,25 @@ def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> Exper
         path = export_trace(last_spans, trace, "e9", seed)
         result.notes += f"\ntrace (largest mitigated config): {path}"
     return result
+
+
+def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> ExperimentResult:
+    """Sweep sites; compare mitigated vs strawman bottleneck growth.
+
+    With ``trace``, every mitigated configuration also records causal
+    spans; the claim is then re-checked from the *trace side*: the
+    span-ledger's max per-component load must be ~flat in system size,
+    and at every size the ledger must reconcile exactly with the request
+    counters the table is built from.
+
+    Composed from the shard protocol, so the sequential run IS the
+    ``--shards 1`` reference the sharded runner reproduces.
+    """
+    partials = [
+        shard_measure(unit, quick=quick, seed=seed, trace=trace)
+        for unit in shard_units(quick=quick)
+    ]
+    return shard_finish(partials, quick=quick, seed=seed, trace=trace)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runner

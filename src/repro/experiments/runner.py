@@ -45,6 +45,21 @@ from repro.experiments import (
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
+#: Experiments refactored onto the shard protocol: a module exposing
+#: ``shard_units(...)`` (the picklable independent work units, each its
+#: own seeded system), ``shard_measure(unit, ...)`` (run one unit in any
+#: process; returns a picklable partial), and ``shard_finish(partials,
+#: ...)`` (merge in deterministic unit order; returns the
+#: ExperimentResult).  ``run_one(..., shards=N)`` fans the units of
+#: these experiments across worker processes; everything else ignores
+#: ``shards``.  The merge consumes partials in unit order, so reports
+#: are byte-identical at any shard count.
+SHARDED = {
+    "e9": e9_scaling,
+    "e13": e13_availability,
+    "e15": e15_overload,
+}
+
 RUNNERS = {
     "e1": e1_binding_path.run,
     "e2": e2_agent_load.run,
@@ -99,6 +114,41 @@ def _accepts_trace(runner) -> bool:
     return _accepts(runner, "trace")
 
 
+def _filter_kwargs(fn, kwargs: dict) -> dict:
+    """The subset of ``kwargs`` that ``fn``'s signature declares."""
+    return {k: v for k, v in kwargs.items() if _accepts(fn, k)}
+
+
+def _run_sharded(module, shards: int, kwargs: dict):
+    """Fan one experiment's units across ``shards`` worker processes.
+
+    Units are independent by the shard contract (each builds its own
+    seeded system), so scheduling is purely a wall-clock optimisation:
+    partials are collected in submission (= unit) order and merged by
+    the module's ``shard_finish``, which produces the same
+    ExperimentResult as the sequential run byte-for-byte.
+    """
+    units = module.shard_units(**_filter_kwargs(module.shard_units, kwargs))
+    measure_kwargs = _filter_kwargs(module.shard_measure, kwargs)
+    if shards <= 1 or len(units) <= 1:
+        partials = [module.shard_measure(unit, **measure_kwargs) for unit in units]
+    else:
+        with ProcessPoolExecutor(max_workers=min(shards, len(units))) as pool:
+            # Submit in reverse unit order: sweeps list units smallest
+            # first, so reverse submission approximates longest-first
+            # scheduling and keeps the expensive tail unit off the end
+            # of the critical path.  Merge order is unaffected -- the
+            # partials list is rebuilt in unit order.
+            futures = {
+                index: pool.submit(module.shard_measure, units[index], **measure_kwargs)
+                for index in reversed(range(len(units)))
+            }
+            partials = [futures[index].result() for index in range(len(units))]
+    return module.shard_finish(
+        partials, **_filter_kwargs(module.shard_finish, kwargs)
+    )
+
+
 def run_one(
     name: str,
     quick: bool,
@@ -108,6 +158,7 @@ def run_one(
     report: Optional[str] = None,
     autoscale: Optional[float] = None,
     overload: Optional[float] = None,
+    shards: int = 1,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
 
@@ -117,6 +168,10 @@ def run_one(
     fault-aware ones, ``autoscale`` (a max load multiplier) to e14,
     ``overload`` (a top offered-load multiplier) to e15.  The rest run
     exactly as without the flags.
+
+    ``shards`` > 1 runs the independent units (jurisdictions) of
+    :data:`SHARDED` experiments on separate worker processes with a
+    deterministic cross-shard merge; non-sharded experiments ignore it.
     """
     started = time.perf_counter()
     try:
@@ -131,7 +186,11 @@ def run_one(
         ):
             if value is not None and _accepts(runner, keyword):
                 kwargs[keyword] = value
-        result = runner(**kwargs)
+        module = SHARDED.get(name)
+        if shards > 1 and module is not None:
+            result = _run_sharded(module, shards, kwargs)
+        else:
+            result = runner(**kwargs)
         report = result.render()
         experiment = result.experiment
         passed = result.passed
@@ -159,6 +218,7 @@ def run_many(
     report: Optional[str] = None,
     autoscale: Optional[float] = None,
     overload: Optional[float] = None,
+    shards: int = 1,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
 
@@ -168,9 +228,13 @@ def run_many(
     chaos schedules are functions of the per-experiment kernel's
     deterministic seed, so reports and exported artifacts are identical
     at any ``jobs``.
+
+    ``shards`` fans each SHARDED experiment's units across worker
+    processes *inside* its run; combine with ``jobs=1`` (nesting a shard
+    pool inside a job pool multiplies processes).
     """
     tasks = [
-        (name, quick, seed, trace, faults, report, autoscale, overload)
+        (name, quick, seed, trace, faults, report, autoscale, overload, shards)
         for seed in seeds
         for name in names
     ]
@@ -221,6 +285,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=1,
         metavar="N",
         help="run up to N experiments in parallel processes (default 1)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run each sharded experiment's independent units (e9/e13/e15 "
+            "jurisdiction sweeps) on up to N worker processes; reports "
+            "are byte-identical at any N (default 1)"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -286,6 +361,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--full and --quick are mutually exclusive")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
 
     if args.list:
         for name in RUNNERS:
@@ -308,6 +385,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report=args.report,
         autoscale=args.autoscale,
         overload=args.overload,
+        shards=args.shards,
     )
 
     for outcome in outcomes:

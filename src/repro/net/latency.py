@@ -85,12 +85,19 @@ class LatencyModel:
 
     def latency(self, src_host: int, dst_host: int) -> float:
         """One-way latency for a message between two hosts."""
-        cls = self.classify(src_host, dst_host)
+        return self.latency_of(self.classify(src_host, dst_host))
+
+    def latency_of(self, cls: LinkClass) -> float:
+        """One-way latency for an already-classified link.
+
+        The send path classifies once (for per-class stats) and reuses
+        the class here instead of walking the site map twice per message.
+        """
         value = self.base[cls]
         if self.jitter_fraction > 0.0:
             if self.rng is None:
                 raise ValueError("jitter enabled but no rng provided")
-            value += self.rng.uniform(0.0, self.jitter_fraction * value)  # type: ignore[attr-defined]
+            value += self.rng.uniform(0.0, self.jitter_fraction * value)
         return value
 
     @classmethod

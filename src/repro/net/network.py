@@ -173,7 +173,7 @@ class Network:
         self.stats.messages_sent += 1
         link = self.latency.classify(src.host, dst.host)
         self.stats.by_class[link] += 1
-        one_way = self.latency.latency(src.host, dst.host)
+        one_way = self.latency.latency_of(link)
 
         if self._partitioned(src.host, dst.host):
             self.stats.partition_blocks += 1

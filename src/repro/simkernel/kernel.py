@@ -41,6 +41,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import ProcessKilled, SimulationDeadlock, SimulationError
@@ -280,7 +281,9 @@ class SimKernel:
         time, never synchronously inside ``spawn`` -- so spawn order, not
         call-stack shape, determines execution order.
         """
-        if not isinstance(gen, Generator):
+        # type-is first: native generators (every process in practice)
+        # skip the typing-ABC __instancecheck__ walk on the spawn path.
+        if type(gen) is not GeneratorType and not isinstance(gen, Generator):
             raise SimulationError(
                 f"spawn() needs a generator, got {type(gen).__name__}; "
                 "did you forget to call the process function?"
@@ -292,7 +295,7 @@ class SimKernel:
 
     def spawn_process(self, gen: ProcessGen, name: str = "") -> Process:
         """Like :meth:`spawn` but returns the :class:`Process` (killable)."""
-        if not isinstance(gen, Generator):
+        if type(gen) is not GeneratorType and not isinstance(gen, Generator):
             raise SimulationError(
                 f"spawn_process() needs a generator, got {type(gen).__name__}"
             )

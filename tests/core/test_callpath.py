@@ -1,0 +1,160 @@
+"""Call-path compilation: recompile triggers and pipeline equivalence.
+
+Pins the contract of :mod:`repro.core.callpath`:
+
+* the zero-middleware configuration compiles to the flat fast path, and
+  each enabled feature shows up in the compiled key's stage list;
+* assigning ``services.tracer`` / ``services.flow`` bumps the config
+  epoch and the next call (dispatch) recompiles lazily;
+* ``enable_batching`` recompiles its runtime eagerly -- it is a
+  runtime-local change the services epoch cannot see;
+* the compiled fast path is *behaviourally identical* to the general
+  retry loop: same values, same counters, same wire messages, same
+  kernel events -- including a first attempt that fails on the wire and
+  resumes inside the loop (the ``injected`` handoff).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import uniform_sites
+from repro.flow.config import FlowConfig
+from repro.naming.binding import Binding
+from repro.net.address import ObjectAddress
+from repro.system.legion import LegionSystem
+from repro.workloads.apps import CounterImpl
+
+
+def build_system(flow=None, seed=21):
+    system = LegionSystem.build(
+        uniform_sites(2, hosts_per_site=2), seed=seed, flow=flow
+    )
+    cls = system.create_class("Counter", factory=CounterImpl)
+    instance = system.create_instance(cls.loid)
+    return system, instance.loid
+
+
+def server_of(system, loid):
+    """The live ObjectServer behind ``loid`` (via its registered endpoint)."""
+    binding = system.console.runtime.lookup_binding(loid)
+    element = binding.address.elements[0]
+    return system.network._endpoints[element].handler.__self__
+
+
+# ------------------------------------------------------------- compile keys
+
+
+def test_plain_config_compiles_flat_pipeline():
+    system, loid = build_system()
+    runtime = system.console.runtime
+    assert runtime._plain_path
+    assert runtime._invoke_key.stages() == ()
+    assert system.console._dispatch_key.plain
+    assert system.console._request_path == system.console._dispatch_plain
+    assert system.call(loid, "Ping") == "pong"
+
+
+def test_flow_config_at_build_compiles_flow_stages():
+    system, loid = build_system(flow=FlowConfig(capacity=64, credit_window=8))
+    runtime = system.console.runtime
+    assert not runtime._plain_path
+    assert runtime._invoke_key.stages() == ("credits", "flow")
+    # Default admit_kinds (None) throttles every component kind, so the
+    # console compiled to the admission intake.
+    assert system.console._dispatch_key.admission
+    assert system.console._request_path == system.console.admission.arrive
+    assert system.call(loid, "Ping") == "pong"
+
+
+# -------------------------------------------------------- recompile triggers
+
+
+def test_tracer_assignment_recompiles_lazily():
+    system, loid = build_system()
+    runtime = system.console.runtime
+    epoch = system.services.callpath_epoch
+    system.enable_tracing()
+    assert system.services.callpath_epoch > epoch
+    # Nothing recompiled yet: the stamp goes stale, the next call pays
+    # one integer compare and rebuilds.
+    assert runtime._callpath_epoch != system.services.callpath_epoch
+    assert system.call(loid, "Ping") == "pong"
+    assert runtime._invoke_key.traced
+    assert not runtime._plain_path
+    # The *receiving* server recompiled when the traced request arrived.
+    server = server_of(system, loid)
+    assert server._dispatch_key.traced
+    assert server._request_path == server._dispatch_request
+
+    system.disable_tracing()
+    assert system.call(loid, "Ping") == "pong"
+    assert runtime._plain_path
+    assert server._request_path == server._dispatch_plain
+
+
+def test_flow_assignment_recompiles_dispatch():
+    system, loid = build_system()
+    epoch = system.services.callpath_epoch
+    system.services.flow = FlowConfig(batch_window=0.5)
+    assert system.services.callpath_epoch > epoch
+    assert system.call(loid, "Ping") == "pong"
+    # No admission controller exists on a server built before the config
+    # landed, but batched payloads may now arrive: the flow intake.
+    server = server_of(system, loid)
+    assert server._dispatch_key.flow
+    assert server._request_path == server._dispatch_flow
+
+
+def test_enable_batching_recompiles_eagerly():
+    system, _loid = build_system(flow=FlowConfig(batch_window=0.5))
+    runtime = system.console.runtime
+    assert not runtime._invoke_key.batching
+    epoch = system.services.callpath_epoch
+    assert runtime.enable_batching("Ping")
+    assert runtime._invoke_key.batching
+    assert "batching" in runtime._invoke_key.stages()
+    # Runtime-local: no epoch traffic, the pipeline rebuilt in place.
+    assert system.services.callpath_epoch == epoch
+
+
+# ------------------------------------------------- fast path == general path
+
+
+def _drive(force_general: bool, stale_first_attempt: bool = False):
+    """One seeded workload; returns every observable the paths could skew.
+
+    ``force_general`` pins the compiled flag so the same calls run
+    through ``_invoke_general``/``_invoke_loop`` instead of the flat
+    fast path (the epoch is untouched, so the pin sticks).
+    ``stale_first_attempt`` poisons the warm cache with a dead address,
+    so the first attempt fails on the wire and the fast path has to
+    resume inside the loop via the ``injected`` handoff.
+    """
+    system, loid = build_system()
+    runtime = system.console.runtime
+    system.call(loid, "Ping")  # warm the binding cache
+    if stale_first_attempt:
+        dead = system.network.allocate_element(host=1)
+        runtime.cache.insert(Binding(loid, ObjectAddress.single(dead)))
+    if force_general:
+        runtime._plain_path = False
+    values = [system.call(loid, "Increment", 2) for _ in range(5)]
+    values.append(system.call(loid, "Get"))
+    stats = runtime.stats
+    return (
+        values,
+        (stats.invocations, stats.attempts, stats.requests_sent,
+         stats.replies_received, stats.refreshes, stats.stale_detected),
+        system.network.stats.messages_sent,
+        system.kernel.now,
+        system.kernel.events_executed,
+    )
+
+
+def test_fast_path_identical_to_general_path():
+    assert _drive(force_general=False) == _drive(force_general=True)
+
+
+def test_failed_first_attempt_resumes_identically():
+    assert _drive(force_general=False, stale_first_attempt=True) == _drive(
+        force_general=True, stale_first_attempt=True
+    )

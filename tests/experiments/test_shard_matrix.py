@@ -1,0 +1,47 @@
+"""Cross ``--shards`` determinism matrix: sharded sweeps are byte-identical.
+
+The sharded runner's contract mirrors ``--jobs``: ``--shards N`` is
+purely a wall-clock optimisation.  Each SHARDED experiment decomposes
+into independent units (one seeded universe per jurisdiction sweep
+point), measured in any order on worker processes, and
+``shard_finish`` merges the partials in unit order -- so the rendered
+report must match the sequential reference byte for byte at any shard
+count.  ``run()`` itself is composed from the same three hooks, which
+is what makes the sequential run the reference.
+"""
+
+from repro.experiments.runner import SHARDED, run_one
+
+MATRIX = ["e9", "e13", "e15"]
+
+
+def test_sharded_registry_covers_the_matrix():
+    assert sorted(SHARDED) == sorted(MATRIX)
+    for name, module in SHARDED.items():
+        for hook in ("shard_units", "shard_measure", "shard_finish"):
+            assert hasattr(module, hook), f"{name} lacks {hook}"
+
+
+def test_every_sharded_sweep_has_parallelism_to_farm_out():
+    for name, module in SHARDED.items():
+        assert len(module.shard_units(quick=True)) > 1, name
+
+
+def test_run_is_composed_from_the_shard_hooks():
+    """The sequential ``run()`` and a hand-driven measure/finish agree."""
+    module = SHARDED["e9"]
+    partials = [
+        module.shard_measure(unit, quick=True, seed=0)
+        for unit in module.shard_units(quick=True)
+    ]
+    composed = module.shard_finish(partials, quick=True, seed=0)
+    direct = module.run(quick=True, seed=0)
+    assert composed.render() == direct.render()
+
+
+def test_shards_1_and_shards_4_reports_are_byte_identical():
+    for name in MATRIX:
+        seq = run_one(name, quick=True, seed=0, shards=1)
+        par = run_one(name, quick=True, seed=0, shards=4)
+        assert seq.passed, f"{name} failed sequentially:\n{seq.report}"
+        assert seq.report == par.report, f"{name} diverged across --shards"
