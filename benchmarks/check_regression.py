@@ -34,6 +34,14 @@ def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
         # Not ops/sec but same polarity (higher is better): the flow arm's
         # delivered goodput as a fraction of capacity under 4x overload.
         yield "e15_goodput", float(metrics["e15_goodput"]["goodput_x_capacity"])
+    if "e16_local_read" in metrics:
+        # Reciprocal simulated latency of same-jurisdiction reads with one
+        # replica per jurisdiction (higher is better): collapses ~800x if
+        # locality-aware replica selection stops keeping local reads local.
+        yield (
+            "e16_local_read_latency",
+            float(metrics["e16_local_read"]["reads_per_sim_ms"]),
+        )
     if "sweep_multicore" in metrics:
         # Same polarity again: the sharded runner's serial/parallel wall
         # ratio on the E15 full sweep (see bench_shards).

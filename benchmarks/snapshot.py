@@ -97,6 +97,31 @@ def snapshot_e15_goodput() -> dict:
     }
 
 
+def snapshot_e16_local_read() -> dict:
+    """E16 locality claim the perf gate protects: with one replica per
+    jurisdiction, same-jurisdiction reads stay at same-host cost.
+
+    Recorded as reciprocal simulated latency (reads per simulated ms,
+    higher is better) so check_regression can hold a line on it.  The
+    number is deterministic -- if locality-aware selection breaks and
+    local reads start crossing the WAN, it collapses by ~800x.
+    """
+    from repro.experiments import e16_georeplication as e16
+
+    started = time.perf_counter()
+    out = e16.shard_measure(("locality", e16.N_SITES), quick=True, seed=0)
+    wall = time.perf_counter() - started
+    local_ms = out["local_mean"]
+    return {
+        "replicas": out["replicas"],
+        "local_mean_sim_ms": round(local_ms, 4),
+        "reads_per_sim_ms": round(1.0 / local_ms, 3) if local_ms else 0.0,
+        "wan_msgs_per_read": round(out["wan_per_read"], 4),
+        "failed_reads": out["failed"],
+        "wall_s": round(wall, 2),
+    }
+
+
 def snapshot_sweep_multicore(shards: int = 4) -> dict:
     """Jurisdiction-sharded E15 full-sweep speedup at ``--shards N``.
 
@@ -138,6 +163,7 @@ def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
             "kernel": snapshot_kernel(),
             "system_call": snapshot_system_call(),
             "e15_goodput": snapshot_e15_goodput(),
+            "e16_local_read": snapshot_e16_local_read(),
             "sweep_multicore": snapshot_sweep_multicore(),
         },
     }

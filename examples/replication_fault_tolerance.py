@@ -18,7 +18,7 @@ Run:  python examples/replication_fault_tolerance.py
 """
 
 from repro import LegionSystem, LegionObjectImpl, SiteSpec, errors, legion_method
-from repro.replication.manager import probe_replicas, repair_replica_group
+from repro.replication.repair import probe_replicas, repair_replica_group
 from repro.workloads.apps import KVStoreImpl
 
 

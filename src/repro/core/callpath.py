@@ -63,6 +63,12 @@ class InvokePathKey:
     credits: bool
     #: A RequestBatcher exists (methods may still opt in later).
     batching: bool
+    #: A replication directory with locality-aware selection is installed
+    #: (repro.replication).  Orthogonal to ``plain``: the fast path only
+    #: ever fires for single-element bindings, and multi-element groups --
+    #: the only addresses selection can reorder -- always fall through to
+    #: ``call_address``, so locality never invalidates the flat pipeline.
+    locality: bool = False
 
     @property
     def plain(self) -> bool:
@@ -115,11 +121,13 @@ class DispatchPathKey:
 def invoke_path_key(runtime) -> InvokePathKey:
     """The key the runtime's invoke pipeline would compile under right now."""
     flow = runtime._flow
+    replication = getattr(runtime.services, "replication", None)
     return InvokePathKey(
         traced=runtime.services.tracer is not None,
         flow=flow is not None,
         credits=runtime.credits is not None,
         batching=runtime._batcher is not None,
+        locality=replication is not None and replication.locality,
     )
 
 
@@ -142,6 +150,15 @@ def compile_invoke_path(runtime) -> InvokePathKey:
     key = invoke_path_key(runtime)
     runtime._invoke_key = key
     runtime._plain_path = key.plain
+    if key.locality:
+        # One selector object per compile, shared by every call_address on
+        # this runtime; ``order`` is a pure function of (src host, group).
+        replication = runtime.services.replication
+        runtime._replica_selector = replication.selector(
+            runtime.services.network.latency
+        )
+    else:
+        runtime._replica_selector = None
     runtime._callpath_epoch = runtime.services.callpath_epoch
     return key
 

@@ -55,6 +55,7 @@ from repro.naming.binding import Binding, NEVER_EXPIRES
 from repro.naming.loid import LOID
 from repro.persistence.opr import OPRecord
 from repro.security.environment import CallEnvironment
+from repro.simkernel.futures import SimFuture
 from repro.simkernel.kernel import Timeout
 
 #: Factory-registry name under which the class-object implementation itself
@@ -66,6 +67,11 @@ CLASS_OBJECT_FACTORY = "legion.class-object"
 #: (a crashed clone must not wedge the retirement forever).
 RETIRE_POLL = 2.0
 RETIRE_DRAIN_BUDGET = 200.0
+
+#: Per-attempt timeout for seeding a fresh replica (SaveState +
+#: RestoreState during AddReplica): generous enough for a wide-area
+#: round trip plus a loaded server's queue.
+SEED_TIMEOUT = 500.0
 
 
 class ClassObjectImpl(LegionObjectImpl):
@@ -87,6 +93,7 @@ class ClassObjectImpl(LegionObjectImpl):
         base_chain: Optional[List[Tuple[str, Dict[str, Any]]]] = None,
         bases: Optional[List[LOID]] = None,
         next_sequence: int = 1,
+        consistency: str = "primary-copy",
     ) -> None:
         self.class_name = class_name
         self.class_id = class_id
@@ -103,12 +110,22 @@ class ClassObjectImpl(LegionObjectImpl):
         self.scheduling_agent = scheduling_agent
         self.binding_ttl = binding_ttl
         self.instance_component_kind = instance_component_kind
+        #: Per-class consistency policy for replicated instances (the
+        #: Multicomputer-Object-Store idea: mechanism chosen by access
+        #: pattern, not one global policy).  A string key into
+        #: :class:`repro.replication.ConsistencyPolicy`; purely advisory
+        #: metadata here -- sessions read it via GetConsistencyPolicy().
+        self.consistency = consistency
         #: Implementation chain contributed by InheritFrom() bases.
         self.base_chain: List[Tuple[str, Dict[str, Any]]] = list(base_chain or [])
         self.bases: List[LOID] = list(bases or [])
         self.table = LogicalTable()
         self._next_sequence = next_sequence
         self._magistrate_rr = 0
+        #: loid identity -> in-flight AddReplica future: concurrent grows
+        #: of one group coalesce (see :meth:`add_replica`).  Runtime-only
+        #: state, deliberately not persistent.
+        self._growing: Dict[Tuple[int, int], SimFuture] = {}
         #: Binding Agents subscribed to explicit invalidation news
         #: (section 4.1.4: "some classes may even attempt to reduce the
         #: number of stale bindings by explicitly propagating news of an
@@ -135,6 +152,7 @@ class ClassObjectImpl(LegionObjectImpl):
             "scheduling_agent",
             "binding_ttl",
             "instance_component_kind",
+            "consistency",
             "base_chain",
             "bases",
             "_next_sequence",
@@ -318,10 +336,12 @@ class ClassObjectImpl(LegionObjectImpl):
                 if self.candidate_magistrates is not None
                 else None
             ),
+            replica_want=n,
         )
         self.table.add(row)
         if self.services.relations is not None:
             self.services.relations.record_is_a(loid, self.loid)
+        self._replication_news("group", loid, tuple(elements), want=n)
         return self._binding_for(loid, combined)
 
     @legion_method("binding ReportDeadReplica(LOID, element)")
@@ -336,6 +356,7 @@ class ClassObjectImpl(LegionObjectImpl):
         if row.object_address is None:
             raise BindingNotFound(f"{loid} has no current address", loid=loid)
         shrunk = row.object_address.without(element)
+        self._replication_news("remove", loid, (element,))
         if shrunk is None:
             row.object_address = None
             raise BindingNotFound(
@@ -343,6 +364,200 @@ class ClassObjectImpl(LegionObjectImpl):
             )
         row.object_address = shrunk
         return self._binding_for(loid, shrunk)
+
+    @legion_method("binding AddReplica(LOID)")
+    def add_replica_default(self, loid: LOID, *, ctx: Optional[InvocationContext] = None):
+        """AddReplica with no magistrate hint."""
+        binding = yield from self.add_replica(loid, None, ctx=ctx)
+        return binding
+
+    @legion_method("binding AddReplica(LOID, LOID)")
+    def add_replica(
+        self, loid: LOID, magistrate_hint: Optional[LOID], *,
+        ctx: Optional[InvocationContext] = None,
+    ):
+        """Grow a replica group by one member; returns the new binding.
+
+        The repair half of section 4.3's replication story: the class
+        re-instantiates the object's implementation chain through a
+        magistrate's CreateReplica and appends the fresh element to the
+        group address (semantic and k preserved).  The hinted magistrate
+        is tried first (the repair service points it at the jurisdiction
+        that lost a replica), then candidates not yet hosting the group,
+        then the rest -- so regrowth prefers spreading.  The fresh
+        process is seeded from a surviving member (object-mandatory
+        SaveState/RestoreState) *before* it joins the group address, so
+        an unseeded replica can never serve reads -- even if the caller
+        times out while the grow completes server-side.
+
+        Growth is serialised per group and capped at the row's recorded
+        target size: every jurisdiction's repair sweep may report the
+        same under-replicated group concurrently, and without the cap
+        each racing AddReplica would append its own fresh member.
+        Concurrent calls coalesce onto one in-flight grow; a call that
+        arrives when the group is already at target is a no-op returning
+        the current binding.
+        """
+        row = self.table.find(loid)
+        if row is None:
+            raise UnknownObject(f"class {self.class_name} never created {loid}")
+        if row.deleted:
+            raise ObjectDeleted(f"{loid} was deleted")
+        if row.object_address is None:
+            raise BindingNotFound(
+                f"{loid} has no current address to grow", loid=loid
+            )
+        inflight = self._growing.get(loid.identity)
+        if inflight is not None:
+            binding = yield inflight
+            return binding
+        if 0 < row.replica_want <= len(row.object_address):
+            return self._binding_for(loid, row.object_address)
+        fut = SimFuture(f"grow {loid}")
+        self._growing[loid.identity] = fut
+        try:
+            binding = yield from self._grow_replica(row, loid, magistrate_hint, ctx)
+        except BaseException as exc:
+            self._growing.pop(loid.identity, None)
+            fut.set_exception(exc)
+            raise
+        self._growing.pop(loid.identity, None)
+        fut.set_result(binding)
+        return binding
+
+    def _grow_replica(
+        self, row, loid: LOID, magistrate_hint: Optional[LOID], ctx
+    ):
+        """The uncoalesced grow-by-one body behind :meth:`add_replica`."""
+        from repro.net.address import ObjectAddress
+
+        if not self.instance_factory:
+            raise ObjectModelError(
+                f"class {self.class_name} has no instance implementation registered"
+            )
+        env = ctx.nested_env(self.loid) if ctx else self.own_env()
+        chain: List[Tuple[str, Dict[str, Any]]] = [
+            (self.instance_factory, dict(self.instance_init))
+        ]
+        chain.extend(self.base_chain)
+        opr = OPRecord(
+            loid=loid,
+            class_loid=self.loid,
+            factory_chain=chain,
+            component_kind=self.instance_component_kind,
+        )
+        pool: List[LOID] = []
+        if magistrate_hint is not None:
+            pool.append(magistrate_hint)
+        candidates = list(self.candidate_magistrates or [])
+        pool.extend(
+            m for m in candidates
+            if m not in pool and m not in row.current_magistrates
+        )
+        pool.extend(m for m in candidates if m not in pool)
+        pool.extend(m for m in row.current_magistrates if m not in pool)
+        last: Optional[BaseException] = None
+        for magistrate in pool:
+            try:
+                address = yield from self.runtime.invoke(
+                    magistrate, "CreateReplica", opr, None, env=env
+                )
+            except (NoCapacity, RequestRefused, DeliveryFailure, InvocationFailed) as exc:
+                last = exc
+                continue
+            element = address.primary()
+            seeded = yield from self._seed_replica(row, loid, element, env)
+            if not seeded:
+                # The new process exists but holds no state; it must not
+                # join the group.  (It stays an orphan on its host -- out
+                # of the address, nothing routes to it.)  A later sweep
+                # retries once a source is reachable again.
+                raise NoCapacity(
+                    f"class {self.class_name} started a new replica of "
+                    f"{loid} but no surviving member could seed it"
+                )
+            grown = ObjectAddress.replicated(
+                list(row.object_address.elements) + [element],
+                semantic=row.object_address.semantic,
+                k=row.object_address.k,
+            )
+            row.object_address = grown
+            if magistrate not in row.current_magistrates:
+                row.current_magistrates.append(magistrate)
+            binding = self._binding_for(loid, grown)
+            self._propagate("add-binding", binding)
+            self._replication_news("add", loid, (element,))
+            return binding
+        raise NoCapacity(
+            f"class {self.class_name} could not grow the replica group of "
+            f"{loid}: no magistrate accepted a new replica"
+        ) from last
+
+    def _seed_replica(self, row, loid: LOID, element, env):
+        """Object-mandatory state transfer onto a fresh group member.
+
+        SaveState from the nearest reachable current member (same-host
+        before same-site before wide-area, measured from the new
+        process), RestoreState onto ``element``.  Runs before the
+        element joins the group address.  Returns False when no source
+        yielded its state -- every member dead, partitioned away, or
+        shedding under overload.
+        """
+        from repro.net.latency import LinkClass
+
+        sources = list(row.object_address.elements)
+        network = getattr(self.services, "network", None)
+        if network is not None:
+            rank = {
+                LinkClass.SAME_HOST: 0,
+                LinkClass.SAME_SITE: 1,
+                LinkClass.WIDE_AREA: 2,
+            }
+            classify = network.latency.classify
+            sources.sort(key=lambda s: rank[classify(element.host, s.host)])
+        for source in sources:
+            try:
+                blob = yield from self.runtime.call_element(
+                    source, loid, "SaveState", (), env, SEED_TIMEOUT, 0
+                )
+            except LegionError:
+                continue  # dead, shedding, or partitioned: next source
+            yield from self.runtime.call_element(
+                element, loid, "RestoreState", (blob,), env, SEED_TIMEOUT, 0
+            )
+            return True
+        return False
+
+    @legion_method("string GetConsistencyPolicy()")
+    def get_consistency_policy(self) -> str:
+        """The per-class consistency policy key (repro.replication)."""
+        return self.consistency
+
+    def _replication_news(self, kind: str, loid: LOID, elements, want: int = 0) -> None:
+        """One-way placement gossip to the per-jurisdiction ReplicaCatalogs.
+
+        Fire-and-forget EVENTs grouped by the site each element lives on,
+        so keeping the catalogs (and through them the global index)
+        current costs no round trips on creation, growth, or shrink
+        paths.  A no-op unless ``enable_replication`` installed the
+        directory -- replication-off runs send nothing.
+        """
+        directory = getattr(self.services, "replication", None)
+        runtime = getattr(self, "runtime", None)
+        if directory is None or runtime is None or not elements:
+            return
+        site_of = self.services.network.latency.site_of
+        by_site: Dict[Optional[str], List[Any]] = {}
+        for element in elements:
+            by_site.setdefault(site_of(element.host), []).append(element)
+        for site in sorted(by_site, key=lambda s: (s is None, s or "")):
+            catalog = directory.catalog_element(site)
+            if catalog is None:
+                continue
+            runtime.send_event(
+                catalog,
+                ("replica-news", kind, loid, tuple(by_site[site]), want, self.loid),
+            )
 
     # -------------------------------------------------------------------- Derive
 
@@ -362,7 +577,7 @@ class ClassObjectImpl(LegionObjectImpl):
         each overridable through ``options`` (keys: ``instance_factory``,
         ``instance_init``, ``flavor``, ``candidate_magistrates``,
         ``scheduling_agent``, ``binding_ttl``, ``magistrate``, ``host``,
-        ``instance_component_kind``).
+        ``instance_component_kind``, ``consistency``).
         """
         self.flavor.check_derive(self.class_name)
         env = ctx.nested_env(self.loid) if ctx else self.own_env()
@@ -403,6 +618,7 @@ class ClassObjectImpl(LegionObjectImpl):
             "instance_component_kind": options.get(
                 "instance_component_kind", self.instance_component_kind
             ),
+            "consistency": options.get("consistency", self.consistency),
             "base_chain": list(self.base_chain),
             "bases": list(self.bases),
         }
@@ -579,10 +795,15 @@ class ClassObjectImpl(LegionObjectImpl):
         if row.deleted:
             raise ObjectDeleted(f"{stale.loid} was deleted")
         if row.object_address == stale.address:
-            if row.object_address is not None and len(row.object_address) > 1:
+            if row.object_address is not None and (
+                row.replicated or len(row.object_address) > 1
+            ):
                 # A replica group: a partial failure does not invalidate
                 # the group address -- the semantic (FIRST/ANY/K-of-N)
                 # handles it, and ReportDeadReplica() shrinks the group.
+                # The flag matters at group size 1: magistrates refuse to
+                # recover replica groups (the class owns the address), so
+                # clearing the row here would lose the object forever.
                 return self._binding_for(stale.loid, row.object_address)
             if not row.current_magistrates:
                 # An out-of-band object (bootstrap host/magistrate/agent):

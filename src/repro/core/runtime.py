@@ -526,8 +526,16 @@ class LegionRuntime:
         """
         semantic = address.semantic
         if semantic is AddressSemantic.FIRST:
+            elements = address.elements
+            selector = self._replica_selector
+            if selector is not None and len(elements) > 1:
+                # Locality-aware selection (repro.replication): try the
+                # group nearest-first by link class from *this* caller's
+                # host.  The sort is stable, so equally-near replicas keep
+                # their group order and the schedule stays deterministic.
+                elements = selector.order(self.element.host, elements)
             last_error: Optional[BaseException] = None
-            for element in address.elements:
+            for element in elements:
                 try:
                     value = yield from self.call_element(
                         element, target, method, args, env, timeout, priority

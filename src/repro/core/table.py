@@ -47,9 +47,20 @@ class TableRow:
     candidate_magistrates: Optional[List[LOID]] = None
     #: True for rows created by Derive() rather than Create().
     is_subclass: bool = False
+    #: Target size for system-level replica groups (CreateReplicated);
+    #: 0 for plain objects.  A positive value marks the row's address as
+    #: class-owned (ReportDeadReplica / AddReplica, never magistrate
+    #: recovery -- even at group size 1) and caps AddReplica growth, so
+    #: racing repairers cannot inflate the group past its target.
+    replica_want: int = 0
     #: Set when the object has been Delete()d; retained briefly so stale
     #: lookups get a definitive "gone" rather than a confusing miss.
     deleted: bool = False
+
+    @property
+    def replicated(self) -> bool:
+        """Whether this row is a system-level replica group (4.3)."""
+        return self.replica_want > 0
 
     def magistrate_allowed(self, magistrate: LOID) -> bool:
         """Whether the candidate list admits ``magistrate``."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.errors import LegionError
 from repro.experiments.common import ExperimentResult, uniform_sites
 from repro.metrics.recorder import SeriesRecorder
-from repro.replication.manager import repair_replica_group
+from repro.replication.repair import repair_replica_group
 from repro.system.legion import LegionSystem
 from repro.workloads.apps import CounterImpl
 

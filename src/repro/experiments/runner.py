@@ -42,6 +42,7 @@ from repro.experiments import (
     e13_availability,
     e14_autoscale,
     e15_overload,
+    e16_georeplication,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -58,6 +59,7 @@ SHARDED = {
     "e9": e9_scaling,
     "e13": e13_availability,
     "e15": e15_overload,
+    "e16": e16_georeplication,
 }
 
 RUNNERS = {
@@ -76,6 +78,7 @@ RUNNERS = {
     "e13": e13_availability.run,
     "e14": e14_autoscale.run,
     "e15": e15_overload.run,
+    "e16": e16_georeplication.run,
     "a1": ablation_propagation.run,
     "a2": ablation_caching.run,
     "a3": run_ttl,
@@ -158,6 +161,7 @@ def run_one(
     report: Optional[str] = None,
     autoscale: Optional[float] = None,
     overload: Optional[float] = None,
+    replicas: Optional[int] = None,
     shards: int = 1,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
@@ -166,8 +170,9 @@ def run_one(
     ``trace`` (an output directory) to trace-aware experiments, ``faults``
     (a chaos intensity) and ``report`` (an artifact directory) to
     fault-aware ones, ``autoscale`` (a max load multiplier) to e14,
-    ``overload`` (a top offered-load multiplier) to e15.  The rest run
-    exactly as without the flags.
+    ``overload`` (a top offered-load multiplier) to e15/e16, ``replicas``
+    (a top replica count) to e16.  The rest run exactly as without the
+    flags.
 
     ``shards`` > 1 runs the independent units (jurisdictions) of
     :data:`SHARDED` experiments on separate worker processes with a
@@ -183,6 +188,7 @@ def run_one(
             ("report", report),
             ("autoscale", autoscale),
             ("overload", overload),
+            ("replicas", replicas),
         ):
             if value is not None and _accepts(runner, keyword):
                 kwargs[keyword] = value
@@ -218,6 +224,7 @@ def run_many(
     report: Optional[str] = None,
     autoscale: Optional[float] = None,
     overload: Optional[float] = None,
+    replicas: Optional[int] = None,
     shards: int = 1,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
@@ -234,7 +241,7 @@ def run_many(
     pool inside a job pool multiplies processes).
     """
     tasks = [
-        (name, quick, seed, trace, faults, report, autoscale, overload, shards)
+        (name, quick, seed, trace, faults, report, autoscale, overload, replicas, shards)
         for seed in seeds
         for name in names
     ]
@@ -261,7 +268,7 @@ def render_summary(outcomes: Sequence[RunOutcome], multi_seed: bool) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the Legion paper's claims (E1-E15, A1-A4).",
+        description="Reproduce the Legion paper's claims (E1-E16, A1-A4).",
     )
     parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--full", action="store_true", help="full-size sweeps")
@@ -292,8 +299,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=1,
         metavar="N",
         help=(
-            "run each sharded experiment's independent units (e9/e13/e15 "
-            "jurisdiction sweeps) on up to N worker processes; reports "
+            "run each sharded experiment's independent units (e9/e13/e15/"
+            "e16 jurisdiction sweeps) on up to N worker processes; reports "
             "are byte-identical at any N (default 1)"
         ),
     )
@@ -354,6 +361,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "of its default 10x"
         ),
     )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "top replica count for replication-aware experiments: e16 "
+            "then sweeps replica groups up to N members instead of its "
+            "default 3 (one per jurisdiction)"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -385,6 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report=args.report,
         autoscale=args.autoscale,
         overload=args.overload,
+        replicas=args.replicas,
         shards=args.shards,
     )
 

@@ -17,16 +17,27 @@ from repro.simkernel.kernel import Timeout
 
 
 class RecoverySweeper:
-    """One sweep process per magistrate, staggered to avoid lockstep."""
+    """One sweep process per magistrate, staggered to avoid lockstep.
 
-    def __init__(self, system, interval: float = 120.0, stagger: float = 7.0) -> None:
+    ``repair`` optionally couples a companion service with start/stop
+    lifecycle (e.g. :class:`repro.replication.ReplicaRepairService`):
+    host-level recovery brings processes back, the companion rebuilds
+    replica groups -- one switch arms both halves of self-healing.
+    """
+
+    def __init__(
+        self, system, interval: float = 120.0, stagger: float = 7.0, repair=None
+    ) -> None:
         self.system = system
         self.interval = interval
         self.stagger = stagger
+        self.repair = repair
         self._procs: List = []
 
     def start(self) -> None:
-        """Spawn the per-magistrate sweep loops."""
+        """Spawn the per-magistrate sweep loops (and the repair companion)."""
+        if self.repair is not None:
+            self.repair.start()
         if self._procs:
             return
         for index, site in enumerate(sorted(self.system.magistrates)):
@@ -53,3 +64,5 @@ class RecoverySweeper:
         for proc in self._procs:
             proc.kill()
         self._procs.clear()
+        if self.repair is not None:
+            self.repair.stop()

@@ -1,30 +1,60 @@
-"""System-level object replication (paper section 4.3, Fig. 1).
+"""Geo-replication data plane (section 4.3 + the section-5 locality story).
 
 "An LOID names Legion Object A1, which is implemented as a replicated
 object consisting of four processes ... residing at four different
-physical addresses.  The Object Address for A1 includes each of the
-address elements."  The address *semantic* (ALL / one-at-random / k-of-N,
-section 3.4) governs how callers use the list, "without changing the
-application-level semantics for communicating with the object".
+physical addresses."  The creation side lives on class objects
+(:meth:`~repro.core.legion_class.ClassObjectImpl.create_replicated` /
+``AddReplica``); this package is everything around it::
 
-The creation side lives on class objects
-(:meth:`~repro.core.legion_class.ClassObjectImpl.create_replicated`); this
-package adds the group-maintenance helpers:
+    enable_replication(system)          # catalogs + index + directory
+      ├─ ReplicaCatalog (per site)      # LOID -> local replica set
+      ├─ GlobalReplicaIndex (one)       # LOID -> {site: count}
+      └─ services.replication           # ReplicaDirectory (epoch bump)
+    class Derive(..., consistency=...)  # per-class policy choice
+    cls.CreateReplicated(n, ...)        # places replicas, gossips news
+    runtime.invoke(loid, "Get", ...)    # locality-ordered FIRST reads
+    ReplicaSession(runtime, binding, policy)   # quorum / primary-copy
+    ReplicaRepairService(system)        # background regrow, yields to load
 
-* :func:`probe_replicas` -- which elements of a replica group answer;
-* :func:`repair_replica_group` -- probe, report dead members to the class
-  (shrinking the group), and return the repaired binding;
-* :class:`ReplicaGroupStatus` -- the probe report.
-
-The paper also notes application-level replication (multiple LOIDs acting
-as one logical service, managed by the application) remains possible;
-``examples/replication_fault_tolerance.py`` demonstrates both styles.
+Modules: :mod:`selection` (config + locality ordering), :mod:`catalog`
+(the two-tier replica-location fabric), :mod:`policy` (consistency
+sessions), :mod:`store` (the versioned KV workload), :mod:`repair`
+(probes, one-shot repair, background service), :mod:`directory` (the
+ambient handle + ``enable_replication``).  The legacy ``manager`` module
+survives as a compatibility shim over :mod:`repair`.
 """
 
-from repro.replication.manager import (
+from repro.replication.catalog import GlobalReplicaIndexImpl, ReplicaCatalogImpl
+from repro.replication.directory import ReplicaDirectory, enable_replication
+from repro.replication.policy import (
+    ConsistencyPolicy,
+    ReplicaSession,
+    default_quorums,
+)
+from repro.replication.repair import (
+    REPAIR_RETRY_POLICY,
     ReplicaGroupStatus,
+    ReplicaRepairService,
     probe_replicas,
     repair_replica_group,
 )
+from repro.replication.selection import LocalitySelector, ReplicationConfig
+from repro.replication.store import ReplicatedStoreImpl
 
-__all__ = ["ReplicaGroupStatus", "probe_replicas", "repair_replica_group"]
+__all__ = [
+    "REPAIR_RETRY_POLICY",
+    "ConsistencyPolicy",
+    "GlobalReplicaIndexImpl",
+    "LocalitySelector",
+    "ReplicaCatalogImpl",
+    "ReplicaDirectory",
+    "ReplicaGroupStatus",
+    "ReplicaRepairService",
+    "ReplicaSession",
+    "ReplicatedStoreImpl",
+    "ReplicationConfig",
+    "default_quorums",
+    "enable_replication",
+    "probe_replicas",
+    "repair_replica_group",
+]

@@ -1,97 +1,15 @@
-"""Replica-group maintenance helpers (section 4.3).
+"""Compatibility shim: the maintenance helpers moved to
+:mod:`repro.replication.repair` when replication grew into a real
+subsystem (catalogs, policies, locality selection, background repair).
 
-These are client-side generators (run them in any object's simulation
-process).  They use only public Legion member functions -- Ping on the
-replicas, ReportDeadReplica on the class -- so they model what a
-monitoring object built *on* Legion would do, rather than adding hidden
-machinery beside it.
+Import from ``repro.replication`` (or ``repro.replication.repair``)
+instead; this module exists so old import paths keep working.
 """
 
-from __future__ import annotations
+from repro.replication.repair import (  # noqa: F401 (re-exports)
+    ReplicaGroupStatus,
+    probe_replicas,
+    repair_replica_group,
+)
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
-
-from repro.errors import DeliveryFailure
-from repro.core.method import MethodInvocation
-from repro.core.runtime import LegionRuntime
-from repro.naming.binding import Binding
-from repro.naming.loid import LOID
-from repro.net.address import ObjectAddressElement
-from repro.security.environment import CallEnvironment
-from repro.simkernel.futures import SimFuture
-
-
-@dataclass
-class ReplicaGroupStatus:
-    """The result of probing every element of a replica group."""
-
-    loid: LOID
-    alive: List[ObjectAddressElement] = field(default_factory=list)
-    dead: List[ObjectAddressElement] = field(default_factory=list)
-
-    @property
-    def total(self) -> int:
-        """Group size at probe time."""
-        return len(self.alive) + len(self.dead)
-
-    @property
-    def availability(self) -> float:
-        """Fraction of replicas answering (1.0 for a healthy group)."""
-        return len(self.alive) / self.total if self.total else 0.0
-
-
-def probe_replicas(
-    runtime: LegionRuntime,
-    binding: Binding,
-    env: Optional[CallEnvironment] = None,
-    timeout: Optional[float] = None,
-):
-    """Ping every element of ``binding``'s address; classify alive/dead.
-
-    Probes are issued concurrently (one request per element) and awaited
-    individually, so one dead replica does not slow the others' answers.
-    """
-    if env is None:
-        env = CallEnvironment.originating(runtime.loid)
-    futures: List[Tuple[ObjectAddressElement, SimFuture]] = []
-    for element in binding.address.elements:
-        invocation = MethodInvocation(
-            target=binding.loid, method="Ping", args=(), env=env
-        )
-        futures.append((element, runtime.send_request(element, invocation, timeout)))
-    status = ReplicaGroupStatus(loid=binding.loid)
-    for element, fut in futures:
-        try:
-            result = yield fut
-            result.unwrap()
-            status.alive.append(element)
-        except DeliveryFailure:
-            status.dead.append(element)
-    return status
-
-
-def repair_replica_group(
-    runtime: LegionRuntime,
-    binding: Binding,
-    class_loid: LOID,
-    env: Optional[CallEnvironment] = None,
-    timeout: Optional[float] = None,
-):
-    """Probe the group and report each dead member to the class.
-
-    Returns the repaired :class:`Binding` (identical to the input when
-    everything was alive).  Raises
-    :class:`~repro.errors.BindingNotFound` if the class reports the last
-    replica gone.
-    """
-    if env is None:
-        env = CallEnvironment.originating(runtime.loid)
-    status = yield from probe_replicas(runtime, binding, env, timeout)
-    current = binding
-    for element in status.dead:
-        current = yield from runtime.invoke(
-            class_loid, "ReportDeadReplica", binding.loid, element, env=env
-        )
-    runtime.cache.insert(current)
-    return current
+__all__ = ["ReplicaGroupStatus", "probe_replicas", "repair_replica_group"]

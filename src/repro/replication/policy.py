@@ -1,0 +1,230 @@
+"""Per-class consistency policies over replica groups.
+
+The Multicomputer Object Store observation (PAPERS.md): no single
+coherence mechanism suits every object, so the *class* picks one to
+match its instances' access pattern.  Classes carry the choice as a
+string (``consistency=...`` at Derive time, read back with
+``GetConsistencyPolicy``); a :class:`ReplicaSession` turns the choice
+into wire protocol against a replica group:
+
+* ``READ_ANY`` -- immutable objects (frozen OPRs).  Reads are plain
+  ``invoke``: the locality-ordered FIRST path picks the nearest live
+  replica and falls across partitions element-by-element, so a read
+  *never blocks* on an unreachable copy.  Writes happen only at seed
+  time (write-all, then Freeze).
+* ``PRIMARY_COPY`` -- writes go to the group's first element (the
+  primary), which assigns the version; the session then pushes *acked*
+  ``Invalidate`` markers to every secondary in group order before the
+  write returns.  Reads try the nearest copy and fall back to the
+  primary whenever the copy admits staleness -- so a completed write is
+  never overwritten by an old value served as fresh.
+* ``QUORUM`` -- explicit-version read/write quorums with R + W > N:
+  a write reads R versions, picks max+1, and lands on W replicas; a
+  read merges R copies by max version.  Read-your-writes holds because
+  any read quorum intersects the last write quorum.
+
+Sessions are client-side coordinator generators: they run inside any
+simulation process and speak to specific elements via
+``runtime.call_element`` (bypassing group semantics on purpose -- the
+*session* is the semantic here).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import DeliveryFailure, ReplicationError
+from repro.security.environment import CallEnvironment
+
+
+class ConsistencyPolicy(enum.Enum):
+    """The per-class consistency choices (string keys on class objects)."""
+
+    PRIMARY_COPY = "primary-copy"
+    QUORUM = "quorum"
+    READ_ANY = "read-any"
+
+
+def default_quorums(n: int) -> Tuple[int, int]:
+    """Majority read and write quorums for an ``n``-replica group."""
+    majority = n // 2 + 1
+    return majority, majority
+
+
+class ReplicaSession:
+    """A client-side coordinator bound to one replica group.
+
+    Parameters
+    ----------
+    runtime:
+        The calling object's :class:`~repro.core.runtime.LegionRuntime`.
+    binding:
+        The replica group's Binding (a multi-element FIRST address).
+    policy:
+        A :class:`ConsistencyPolicy` or its string value (a class's
+        ``GetConsistencyPolicy()`` result plugs in directly).
+    read_quorum / write_quorum:
+        Override the majority defaults (QUORUM only).  The session
+        refuses configurations with R + W <= N: they cannot give
+        read-your-writes and would silently serve stale data.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        binding,
+        policy,
+        read_quorum: Optional[int] = None,
+        write_quorum: Optional[int] = None,
+        timeout: Optional[float] = None,
+        priority: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.binding = binding
+        self.policy = ConsistencyPolicy(policy)
+        n = len(binding.address.elements)
+        default_r, default_w = default_quorums(n)
+        self.read_quorum = read_quorum if read_quorum is not None else default_r
+        self.write_quorum = write_quorum if write_quorum is not None else default_w
+        if self.policy is ConsistencyPolicy.QUORUM and (
+            self.read_quorum + self.write_quorum <= n
+        ):
+            raise ReplicationError(
+                f"quorums R={self.read_quorum} W={self.write_quorum} do not "
+                f"overlap over {n} replicas (need R + W > N)"
+            )
+        self.timeout = timeout
+        self.priority = priority
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def elements(self) -> tuple:
+        return self.binding.address.elements
+
+    @property
+    def primary(self):
+        return self.binding.address.elements[0]
+
+    def _env(self) -> CallEnvironment:
+        return CallEnvironment.originating(self.runtime.loid)
+
+    def _call(self, element, method: str, *args: Any):
+        value = yield from self.runtime.call_element(
+            element,
+            self.binding.loid,
+            method,
+            args,
+            self._env(),
+            self.timeout,
+            self.priority,
+        )
+        return value
+
+    def _collect(self, method: str, args: tuple, need: int):
+        """Call ``need`` replicas in group order, skipping unreachable ones.
+
+        Returns (values, elements_answering).  Raises the last transport
+        error when fewer than ``need`` replicas answered.
+        """
+        values: List[Any] = []
+        answered: List[Any] = []
+        last: Optional[BaseException] = None
+        for element in self.elements:
+            if len(values) >= need:
+                break
+            try:
+                value = yield from self._call(element, method, *args)
+            except DeliveryFailure as exc:
+                last = exc
+                continue
+            values.append(value)
+            answered.append(element)
+        if len(values) < need:
+            raise ReplicationError(
+                f"quorum not met: {len(values)}/{need} replicas of "
+                f"{self.binding.loid} answered {method}"
+            ) from last
+        return values, answered
+
+    # ------------------------------------------------------------------ API
+
+    def read(self, key: str):
+        """Policy-appropriate read of ``key``; returns the value."""
+        if self.policy is ConsistencyPolicy.READ_ANY:
+            # The group address IS the protocol: locality-ordered FIRST
+            # picks the nearest live copy and never waits on a partition
+            # longer than one bounced hop per unreachable element.
+            value = yield from self.runtime.invoke(
+                self.binding.loid,
+                "Get",
+                key,
+                timeout=self.timeout,
+                priority=self.priority,
+            )
+            return value
+        if self.policy is ConsistencyPolicy.QUORUM:
+            replies, _who = yield from self._collect(
+                "GetVersioned", (key,), self.read_quorum
+            )
+            version, value, _fresh = max(replies, key=lambda r: r[0])
+            return value
+        # PRIMARY_COPY: nearest copy first, primary on staleness.
+        selector = getattr(self.runtime, "_replica_selector", None)
+        ordered = (
+            selector.order(self.runtime.element.host, self.elements)
+            if selector is not None
+            else self.elements
+        )
+        for element in ordered:
+            if element == self.primary:
+                break  # no point asking a copy ranked behind the source
+            try:
+                version, value, fresh = yield from self._call(
+                    element, "GetVersioned", key
+                )
+            except DeliveryFailure:
+                continue
+            if fresh and version > 0:
+                return value
+            break  # stale copy: go straight to the primary
+        version, value, _fresh = yield from self._call(
+            self.primary, "GetVersioned", key
+        )
+        return value
+
+    def write(self, key: str, value: Any):
+        """Policy-appropriate write; returns the version written."""
+        if self.policy is ConsistencyPolicy.READ_ANY:
+            raise ReplicationError(
+                "read-any groups are immutable after seeding; use seed()"
+            )
+        if self.policy is ConsistencyPolicy.QUORUM:
+            replies, _who = yield from self._collect(
+                "GetVersioned", (key,), self.read_quorum
+            )
+            version = max(r[0] for r in replies) + 1
+            _acks, _who = yield from self._collect(
+                "PutVersioned", (key, version, value), self.write_quorum
+            )
+            return version
+        # PRIMARY_COPY: the primary assigns the version; acked
+        # invalidations reach every secondary before the write returns,
+        # in group order -- the ordering the property tests pin.
+        version = yield from self._call(self.primary, "WritePrimary", key, value)
+        for element in self.elements[1:]:
+            yield from self._call(element, "Invalidate", key, version)
+        return version
+
+    def seed(self, items):
+        """Write-all + Freeze: build an immutable read-any group.
+
+        ``items`` is an iterable of (key, value).  Every element receives
+        every pair (version 1) and is then frozen.
+        """
+        pairs = list(items)
+        for element in self.elements:
+            for key, value in pairs:
+                yield from self._call(element, "PutVersioned", key, 1, value)
+            yield from self._call(element, "Freeze")

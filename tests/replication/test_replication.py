@@ -4,7 +4,7 @@ import pytest
 
 from repro import errors
 from repro.net.address import AddressSemantic
-from repro.replication.manager import probe_replicas, repair_replica_group
+from repro.replication.repair import probe_replicas, repair_replica_group
 
 
 def kill_one_replica(system, loid):
