@@ -42,6 +42,17 @@ def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
             "e16_local_read_latency",
             float(metrics["e16_local_read"]["reads_per_sim_ms"]),
         )
+    if "e17_governed_goodput" in metrics:
+        # Same polarity (higher is better): the governed arm's delivered
+        # goodput as a fraction of capacity during the E17 storm phase.
+        # Simulated-time and deterministic -- it collapses ~3x to the
+        # baseline's level if band→policy coupling stops working.
+        yield (
+            "e17_governed_goodput",
+            float(
+                metrics["e17_governed_goodput"]["storm_goodput_x_capacity"]
+            ),
+        )
     if "sweep_multicore" in metrics:
         # Same polarity again: the sharded runner's serial/parallel wall
         # ratio on the E15 full sweep (see bench_shards).

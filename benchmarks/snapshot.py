@@ -122,6 +122,33 @@ def snapshot_e16_local_read() -> dict:
     }
 
 
+def snapshot_e17_governed_goodput() -> dict:
+    """E17 governed-arm storm goodput (fraction of capacity, higher is
+    better): the banded-governor claim the perf gate protects.
+
+    Simulated-time and deterministic -- if band coupling stops tightening
+    admission and retry policy under the storm, the governed arm joins
+    the baseline's collapse and this drops ~3x.  The recovery figure and
+    the band walk ride along for context.
+    """
+    from repro.experiments import e17_governor as e17  # deferred import
+
+    started = time.perf_counter()
+    out = e17.shard_measure("governed", quick=True, seed=0)
+    wall = time.perf_counter() - started
+    by_phase = {p["phase"]: p for p in out["phases"]}
+    return {
+        "storm_goodput_x_capacity": round(by_phase["storm"]["goodput_x"], 3),
+        "recovery_goodput_x_capacity": round(
+            by_phase["recovery"]["goodput_x"], 3
+        ),
+        "band_final": out["band_final"],
+        "ledgered_transitions": len(out["ledger"]),
+        "settled": out["settled"],
+        "wall_s": round(wall, 2),
+    }
+
+
 def snapshot_sweep_multicore(shards: int = 4) -> dict:
     """Jurisdiction-sharded E15 full-sweep speedup at ``--shards N``.
 
@@ -164,6 +191,7 @@ def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
             "system_call": snapshot_system_call(),
             "e15_goodput": snapshot_e15_goodput(),
             "e16_local_read": snapshot_e16_local_read(),
+            "e17_governed_goodput": snapshot_e17_governed_goodput(),
             "sweep_multicore": snapshot_sweep_multicore(),
         },
     }

@@ -1,0 +1,579 @@
+"""E17 -- the operating-mode governor degrades in bands, not cliffs.
+
+Claim: under compounded stress -- offered load climbing past capacity
+while seeded chaos crashes hosts and objects -- a system governed by the
+:mod:`repro.health` band machine walks DOWN the health scale one band at
+a time (Stable → Strained → Eroding → ... as evidence worsens), keeps
+serving at capacity while degraded because each band tightens admission
+and retry policy instead of letting queues grow, and then walks BACK up
+band-by-band under hysteresis once the storm passes -- with every
+transition justified by an evidence snapshot in a hash-chained ledger
+that verifies intact.  The same system without flow control or governor
+collapses abruptly at the storm: the timeout/retry spiral takes goodput
+to a small fraction of capacity, and nothing recorded why.
+
+Method: one serial service (capacity 0.5 requests/ms) takes open-loop
+traffic from 4 clients through four phases -- calm (x0.5 capacity),
+rising (x3), storm (x``mult``, default 8, plus a seeded FaultPlan of
+host/object crashes), recovery (x0.5).  Two arms per seed, identical
+except the stack under test: the *governed* arm runs flow control plus
+the governor (coupled to admission configs, client retry-token refill,
+and the recovery sweeper's cadence); the *baseline* arm runs the
+historical ungoverned path.  Both arms keep the settlement identity
+(``requests_sent == replies + timeouts + delivery_failures + cancelled +
+shed``) and the governed arm's three shed ledgers must agree
+(triple-entry: metrics == FaultLog == wire).  Everything runs on
+simulated time from seeded state: reports and ledgers are byte-identical
+across ``--jobs``/``--shards``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import LegionError, Overloaded
+from repro.core.runtime import RetryPolicy
+from repro.experiments.common import ExperimentResult
+from repro.faults.driver import ChaosDriver, eligible_hosts
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.recovery import RecoverySweeper
+from repro.flow import FlowConfig
+from repro.health import GovernorConfig, HealthLedger, enable_governor
+from repro.metrics.counters import ComponentKind, MetricsRegistry
+from repro.metrics.recorder import SeriesRecorder
+from repro.simkernel.futures import gather
+from repro.simkernel.kernel import Timeout
+from repro.system.legion import LegionSystem, SiteSpec
+from repro.trace.audit import TraceAudit
+from repro.workloads.apps import CounterImpl, SerialServiceImpl
+
+#: Exclusive service per Work() call; capacity is its reciprocal.
+SERVICE_TIME = 2.0
+CAPACITY = 1.0 / SERVICE_TIME
+N_CLIENTS = 4
+TIMEOUT = 60.0
+#: Bystander objects the chaos plan may crash (the loss-evidence feed).
+N_FODDER = 6
+
+#: The governed arm's flow regime (E15's, unchanged): serial admission,
+#: a bounded queue the governor tightens per band, credit windows.
+FLOW = FlowConfig(
+    capacity=1,
+    queue_limit=14,
+    service_estimate=SERVICE_TIME,
+    admit_kinds=frozenset({ComponentKind.APPLICATION}),
+    credit_window=8,
+)
+
+#: Both arms' client policy: patient (rides out crashes) but budgeted --
+#: the retry-token bucket is the knob the governor's refill scaling
+#: turns, and what keeps retry volume honest in the baseline too.
+E17_RETRY_POLICY = RetryPolicy(
+    max_attempts=6,
+    base_backoff=5.0,
+    backoff_factor=2.0,
+    max_backoff=100.0,
+    budget=2_000.0,
+    retry_partitions=True,
+    retry_resolution_failures=True,
+    retry_tokens=60.0,
+    retry_token_refill=0.5,
+)
+
+#: The governed arm's governor: default thresholds/ladder, E17-paced
+#: dwells (short enough that a 240 ms phase fits two one-band steps).
+#: The critical allowlist is filled in per run with the serial service's
+#: LOID (an application server's component name defaults to its LOID
+#: string), so the Failed band pauses everything *except* the service
+#: under test -- the allowlist protecting the one class that must serve.
+GOVERNOR = GovernorConfig(
+    degrade_dwell=30.0,
+    recover_dwell=80.0,
+    tick=10.0,
+    window=40.0,
+)
+
+
+def _phases(quick: bool, mult: float) -> List[Tuple[str, float, float]]:
+    """(name, duration ms, offered-load multiple of capacity) in order."""
+    if quick:
+        return [
+            ("calm", 120.0, 0.5),
+            ("rising", 240.0, 3.0),
+            ("storm", 240.0, mult),
+            ("recovery", 600.0, 0.5),
+        ]
+    return [
+        ("calm", 200.0, 0.5),
+        ("rising", 400.0, 3.0),
+        ("storm", 400.0, mult),
+        ("recovery", 900.0, 0.5),
+    ]
+
+
+def _all_runtimes(system, clients):
+    servers = (
+        list(system.host_servers.values())
+        + list(system.magistrates.values())
+        + list(system.agents.values())
+        + list(clients)
+    )
+    for host_server in system.host_servers.values():
+        for entry in host_server.impl.processes.running():
+            servers.append(entry.server)
+    return [s.runtime for s in servers]
+
+
+def _settles(runtime) -> bool:
+    """The RuntimeStats settlement identity, shed included."""
+    s = runtime.stats
+    settled = (
+        s.replies_received
+        + s.timeouts
+        + s.delivery_failures
+        + s.cancelled
+        + s.shed
+    )
+    return s.requests_sent == settled and not runtime._pending
+
+
+def _drive(system, clients, target, phases):
+    """Open-loop Work() traffic walking the phase schedule.
+
+    Like E15's driver but phased: each client issues at the phase's
+    offered-load interval until the phase ends, with per-call
+    (issue, settle, outcome) records for phase-windowed goodput.
+    """
+    kernel = system.kernel
+    records: List[Dict[str, Any]] = []
+
+    def one_call(client, rec):
+        try:
+            yield from client.runtime.invoke(target, "Work", timeout=TIMEOUT)
+            rec["outcome"] = "ok"
+        except Overloaded:
+            rec["outcome"] = "shed"
+        except LegionError as exc:
+            rec["outcome"] = "failed"
+            rec["error"] = type(exc).__name__
+        rec["done"] = kernel.now
+
+    def loop(client, offset):
+        if offset > 0.0:
+            yield Timeout(offset)
+        calls = []
+        for _name, duration, level in phases:
+            interval = N_CLIENTS / (level * CAPACITY)
+            end = kernel.now + duration
+            while kernel.now < end:
+                rec: Dict[str, Any] = {
+                    "issue": kernel.now,
+                    "done": None,
+                    "outcome": "pending",
+                }
+                records.append(rec)
+                calls.append(
+                    kernel.spawn(one_call(client, rec), name=f"e17-call-{client.loid}")
+                )
+                yield Timeout(min(interval, end - kernel.now))
+        for fut in calls:  # drain: every fired call must settle
+            yield fut
+
+    futures = [
+        kernel.spawn(loop(client, i * 0.5), name=f"e17-loop-{client.loid}")
+        for i, client in enumerate(clients)
+    ]
+    return gather(futures), records
+
+
+def _run_arm(
+    seed: int, quick: bool, governed: bool, mult: float
+) -> Dict[str, Any]:
+    phases = _phases(quick, mult)
+    system = LegionSystem.build(
+        [SiteSpec("main", hosts=3)], seed=seed, flow=FLOW if governed else None
+    )
+    log = FaultLog()
+    system.services.fault_log = log
+
+    # Class objects are infrastructure: pin them to the protected first
+    # host (as E13 does) so chaos can crash instances but never the
+    # recovery control path itself.
+    site0 = system.sites[0].name
+    protected = system.host_servers[system.site_hosts[site0][0]].loid
+    cls = system.create_class(
+        "SerialService",
+        factory=lambda: SerialServiceImpl(service_time=SERVICE_TIME),
+        magistrate=system.magistrates[site0].loid,
+        host=protected,
+    )
+    instance = system.create_instance(cls.loid)
+    # Checkpoint the service so a storm-phase host crash is recoverable
+    # (reactive rebind + magistrate restore, as in E13).
+    row = system.call(cls.loid, "GetRow", instance.loid)
+    system.call(row.current_magistrates[0], "Checkpoint", instance.loid)
+    # Chaos fodder: checkpointed counters the plan crashes, feeding the
+    # loss-backlog evidence signal without taking the service itself down
+    # on every draw.
+    fodder_cls = system.create_class(
+        "Fodder",
+        factory=CounterImpl,
+        magistrate=system.magistrates[site0].loid,
+        host=protected,
+    )
+    fodder = [system.create_instance(fodder_cls.loid) for _ in range(N_FODDER)]
+    for i, binding in enumerate(fodder):
+        system.call(binding.loid, "Increment", i + 1)
+        row = system.call(fodder_cls.loid, "GetRow", binding.loid)
+        system.call(row.current_magistrates[0], "Checkpoint", binding.loid)
+
+    clients = [system.new_client(f"e17-{i}") for i in range(N_CLIENTS)]
+    # The probe console: periodic Get()s over the fodder keep the
+    # reactive recovery path live for objects nobody else calls (an
+    # object crashed on a *live* host only comes back when someone asks
+    # for it), and in the Failed band its calls are what the pause sheds.
+    prober = system.new_client("e17-probe")
+    clients.append(prober)
+    for client in clients:
+        client.runtime.retry_policy = E17_RETRY_POLICY
+
+    # The storm's chaos: drawn up front from the seeded stream, started
+    # (relative to then-now) when the storm phase begins.
+    storm_start = sum(d for _n, d, _l in phases[:2])
+    storm_duration = phases[2][1]
+    plan = FaultPlan.generate(
+        system.services.rng.stream("e17-faults"),
+        horizon=storm_duration,
+        intensity=10.0,
+        hosts=eligible_hosts(system),
+        sites=[s.name for s in system.sites],
+        objects=[str(b.loid) for b in fodder],
+        mix={FaultKind.HOST_CRASH: 0.5, FaultKind.OBJECT_CRASH: 0.5},
+    )
+    driver = ChaosDriver(system, plan, log)
+    sweeper = RecoverySweeper(system, interval=120.0)
+    sweeper.start()
+
+    governor = None
+    if governed:
+        config = replace(GOVERNOR, critical=frozenset({str(instance.loid)}))
+        governor = enable_governor(system, config)
+        governor.track(*clients)
+        governor.attach(sweeper=sweeper)
+
+    start = system.kernel.now
+    total = sum(d for _n, d, _l in phases)
+    system.kernel.schedule(storm_start, driver.start)
+    done, records = _drive(system, clients[:N_CLIENTS], instance.loid, phases)
+
+    def probe_loop():
+        end = system.kernel.now + total
+        while system.kernel.now < end:
+            for binding in fodder:
+                try:
+                    yield from prober.runtime.invoke(
+                        binding.loid, "Get", timeout=TIMEOUT
+                    )
+                except LegionError:
+                    pass  # lost or paused; the next round retries
+            yield Timeout(97.0)
+
+    probes = system.kernel.spawn(probe_loop(), name="e17-probes")
+    system.kernel.run_until_complete(gather([done, probes]), max_events=50_000_000)
+    sweeper.stop()
+    if governor is not None:
+        governor.stop_loop()  # endless tick loop would pin the drain below
+    system.kernel.run()  # drain backlog, late chaos restores, retries
+
+    # Post-run repair: one final sweep per magistrate so chaos losses are
+    # recovered (and logged) before reconciliation reads the backlog.
+    for site in sorted(system.magistrates):
+        fut = system.spawn(system.magistrates[site].impl.sweep_hosts())
+        system.kernel.run_until_complete(fut)
+    # Touch every fodder object: a straggler lost on a live host is
+    # recovered by this very call (the reactive path), as in E13.  The
+    # tracked prober does the touching so any shed stays triple-entry.
+    def touch(loid):
+        try:
+            yield from prober.runtime.invoke(loid, "Get", timeout=TIMEOUT)
+        except LegionError:
+            pass  # reconciliation below reports it as unrecovered
+    for binding in fodder:
+        fut = system.kernel.spawn(touch(binding.loid), name="e17-touch")
+        system.kernel.run_until_complete(fut)
+
+    ledger_records: List[Dict[str, Any]] = []
+    band_final = "stable"
+    audits: List[Any] = []
+    if governor is not None:
+        record = governor.poll()  # observe the post-storm world once more
+        del record
+        evidence = governor.last_evidence
+        audits.append(TraceAudit.evidence_reconciles(evidence))
+        ledger_records = governor.ledger.to_json()
+        band_final = governor.band.label
+        governor.stop()
+
+    # Phase-windowed goodput (successes per ms, by settle time).
+    phase_rows = []
+    edge = start
+    for name, duration, level in phases:
+        w0, w1 = edge, edge + duration
+        ok = sum(
+            1
+            for r in records
+            if r["outcome"] == "ok" and r["done"] is not None and w0 <= r["done"] < w1
+        )
+        phase_rows.append(
+            {
+                "phase": name,
+                "offered_x": level,
+                "goodput": ok / duration,
+                "goodput_x": (ok / duration) / CAPACITY,
+            }
+        )
+        edge = w1
+    outcomes = {"ok": 0, "shed": 0, "failed": 0}
+    for rec in records:
+        outcomes[rec["outcome"]] += 1
+
+    metrics = system.services.metrics
+    metrics_shed = sum(metrics.snapshot(None, MetricsRegistry.SHED).values())
+    faultlog_shed = sum(1 for i in log.observed if i.kind == "request-shed")
+    runtimes = _all_runtimes(system, clients)
+    wire_shed = sum(rt.stats.shed for rt in runtimes)
+    lost = set(log.lost_objects())
+    recovered = set(log.recovered_objects())
+
+    return {
+        "phases": phase_rows,
+        "outcomes": outcomes,
+        "issued": len(records),
+        "metrics_shed": metrics_shed,
+        "faultlog_shed": faultlog_shed,
+        "wire_shed": wire_shed,
+        "settled": all(_settles(rt) for rt in runtimes),
+        "chaos_events": len(plan.events),
+        "lost": len(lost),
+        "unrecovered": len(lost - recovered),
+        "ledger": ledger_records,
+        "band_final": band_final,
+        "audits": audits,
+        "sim_clock": system.kernel.now,
+        "sim_events": system.kernel.events_executed,
+    }
+
+
+def shard_units(quick: bool = True, governor: Optional[float] = None) -> list:
+    """The two independent arms; each builds its own seeded system."""
+    return ["governed", "baseline"]
+
+
+def shard_measure(
+    unit,
+    quick: bool = True,
+    seed: int = 0,
+    governor: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run one arm; the returned dict is picklable."""
+    mult = float(governor) if governor else 8.0
+    out = _run_arm(seed, quick, governed=unit == "governed", mult=mult)
+    out["arm"] = unit
+    return out
+
+
+def shard_finish(
+    partials,
+    quick: bool = True,
+    seed: int = 0,
+    governor: Optional[float] = None,
+    report: Optional[str] = None,
+) -> ExperimentResult:
+    """Merge the two arms, in unit order, into the E17 result."""
+    by_arm = {p["arm"]: p for p in partials}
+    gov = by_arm["governed"]
+    base = by_arm["baseline"]
+    mult = float(governor) if governor else 8.0
+
+    recorder = SeriesRecorder(x_label="phase")
+    result = ExperimentResult(
+        experiment="E17",
+        title="operating-mode governor (banded health + policy coupling)",
+        claim=(
+            "under compounded overload + chaos, the governed system degrades "
+            "one band at a time, keeps goodput at capacity while degraded, "
+            "recovers band-by-band under hysteresis, and ledgers every "
+            "transition tamper-evidently, while the ungoverned baseline "
+            "collapses abruptly at the storm"
+        ),
+        recorder=recorder,
+    )
+    phase_pairs = list(
+        zip(gov["phases"], base["phases"], strict=True)
+    )
+    for index, (gp, bp) in enumerate(phase_pairs):
+        recorder.add(
+            index,
+            offered_x=gp["offered_x"],
+            governed_goodput=round(gp["goodput_x"], 3),
+            baseline_goodput=round(bp["goodput_x"], 3),
+        )
+
+    # -- band walk ----------------------------------------------------------
+    ledger = gov["ledger"]
+    visited = [r["to_band"] for r in ledger]
+    steps_ok = all(
+        abs(
+            ["stable", "strained", "eroding", "compromised", "failed"].index(
+                r["to_band"]
+            )
+            - ["stable", "strained", "eroding", "compromised", "failed"].index(
+                r["from_band"]
+            )
+        )
+        == 1
+        for r in ledger
+    )
+    result.check(
+        "governed: degrades through strained and eroding",
+        "strained" in visited and "eroding" in visited,
+        f"bands visited: {visited}",
+    )
+    result.check(
+        "governed: never skips a band (every transition one step)",
+        steps_ok and len(ledger) > 0,
+        f"{len(ledger)} ledgered transitions",
+    )
+    result.check(
+        "governed: recovers to stable after the storm",
+        gov["band_final"] == "stable" and visited and visited[-1] == "stable",
+        f"final band: {gov['band_final']}",
+    )
+    recoveries = [r for r in ledger if r["direction"] == "recover"]
+    result.check(
+        "governed: recovery is monotone band-by-band (hysteresis held)",
+        len(recoveries) >= 2
+        and all(r["reason"] == "calm" for r in recoveries),
+        f"{len(recoveries)} recover transitions",
+    )
+    chain_error = HealthLedger.verify_records(ledger)
+    result.check(
+        "governed: transition ledger hash chain verifies intact",
+        chain_error is None,
+        chain_error or f"{len(ledger)} records chained from genesis",
+    )
+
+    # -- goodput ------------------------------------------------------------
+    by_phase = {p["phase"]: p for p in gov["phases"]}
+    base_by_phase = {p["phase"]: p for p in base["phases"]}
+    result.check(
+        "governed: storm goodput holds >= 60% of capacity",
+        by_phase["storm"]["goodput_x"] >= 0.6,
+        f"{by_phase['storm']['goodput_x']:.2f}x capacity at x{mult:g} offered",
+    )
+    result.check(
+        "baseline: storm goodput collapses (<= 50% of capacity)",
+        base_by_phase["storm"]["goodput_x"] <= 0.5,
+        f"{base_by_phase['storm']['goodput_x']:.2f}x capacity",
+    )
+    result.check(
+        "governed: recovery-phase goodput back at offered load",
+        by_phase["recovery"]["goodput_x"]
+        >= 0.9 * by_phase["recovery"]["offered_x"],
+        f"{by_phase['recovery']['goodput_x']:.2f}x of "
+        f"{by_phase['recovery']['offered_x']:g}x offered",
+    )
+
+    # -- accounting ---------------------------------------------------------
+    for arm, out in (("governed", gov), ("baseline", base)):
+        result.check(
+            f"{arm}: every request settles (shed included)",
+            out["settled"],
+            f"outcomes={out['outcomes']}",
+        )
+        result.check(
+            f"{arm}: chaos losses all recovered",
+            out["unrecovered"] == 0,
+            f"{out['lost']} lost, {out['unrecovered']} unrecovered "
+            f"({out['chaos_events']} chaos events)",
+        )
+    result.check(
+        "governed: shed ledgers reconcile (metrics == FaultLog == wire)",
+        gov["metrics_shed"] == gov["faultlog_shed"] == gov["wire_shed"],
+        f"metrics={gov['metrics_shed']} faultlog={gov['faultlog_shed']} "
+        f"wire={gov['wire_shed']}",
+    )
+    for finding in gov["audits"]:
+        result.check(finding.name, finding.passed, finding.detail)
+
+    result.sim_clock = gov["sim_clock"] + base["sim_clock"]
+    result.sim_events = gov["sim_events"] + base["sim_events"]
+
+    notes = [
+        "bands: "
+        + (
+            " -> ".join(["stable"] + visited)
+            if visited
+            else "(no transitions)"
+        )
+    ]
+    if report is not None:
+        from repro.health.ledger import canonical
+
+        os.makedirs(report, exist_ok=True)
+        ledger_path = os.path.join(report, f"e17-ledger-seed{seed}.jsonl")
+        with open(ledger_path, "w") as fh:
+            for rec in ledger:
+                fh.write(canonical(rec) + "\n")
+        path = os.path.join(report, f"e17-governor-seed{seed}.json")
+        with open(path, "w") as fh:
+            json.dump(
+                {
+                    "seed": seed,
+                    "quick": quick,
+                    "mult": mult,
+                    "governed": gov["phases"],
+                    "baseline": base["phases"],
+                    "bands": visited,
+                    "transitions": len(ledger),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        notes.append(f"report: {path}")
+        notes.append(f"ledger: {ledger_path}")
+    result.notes = "\n".join(notes)
+    return result
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    governor: Optional[float] = None,
+    report: Optional[str] = None,
+) -> ExperimentResult:
+    """Governed vs ungoverned under compounded overload + chaos.
+
+    ``governor`` (the runner's ``--governor`` flag) overrides the storm's
+    offered-load multiplier (default 8); ``report`` names a directory for
+    the JSON phase artifact and the JSONL transition ledger.
+
+    Composed from the shard protocol, so the sequential run IS the
+    ``--shards 1`` reference the sharded runner reproduces.
+    """
+    partials = [
+        shard_measure(unit, quick=quick, seed=seed, governor=governor)
+        for unit in shard_units(quick=quick, governor=governor)
+    ]
+    return shard_finish(
+        partials, quick=quick, seed=seed, governor=governor, report=report
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run().render())

@@ -43,6 +43,7 @@ from repro.experiments import (
     e14_autoscale,
     e15_overload,
     e16_georeplication,
+    e17_governor,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -60,6 +61,7 @@ SHARDED = {
     "e13": e13_availability,
     "e15": e15_overload,
     "e16": e16_georeplication,
+    "e17": e17_governor,
 }
 
 RUNNERS = {
@@ -79,6 +81,7 @@ RUNNERS = {
     "e14": e14_autoscale.run,
     "e15": e15_overload.run,
     "e16": e16_georeplication.run,
+    "e17": e17_governor.run,
     "a1": ablation_propagation.run,
     "a2": ablation_caching.run,
     "a3": run_ttl,
@@ -162,6 +165,7 @@ def run_one(
     autoscale: Optional[float] = None,
     overload: Optional[float] = None,
     replicas: Optional[int] = None,
+    governor: Optional[float] = None,
     shards: int = 1,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
@@ -189,6 +193,7 @@ def run_one(
             ("autoscale", autoscale),
             ("overload", overload),
             ("replicas", replicas),
+            ("governor", governor),
         ):
             if value is not None and _accepts(runner, keyword):
                 kwargs[keyword] = value
@@ -225,6 +230,7 @@ def run_many(
     autoscale: Optional[float] = None,
     overload: Optional[float] = None,
     replicas: Optional[int] = None,
+    governor: Optional[float] = None,
     shards: int = 1,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
@@ -241,7 +247,10 @@ def run_many(
     pool inside a job pool multiplies processes).
     """
     tasks = [
-        (name, quick, seed, trace, faults, report, autoscale, overload, replicas, shards)
+        (
+            name, quick, seed, trace, faults, report,
+            autoscale, overload, replicas, governor, shards,
+        )
         for seed in seeds
         for name in names
     ]
@@ -268,7 +277,7 @@ def render_summary(outcomes: Sequence[RunOutcome], multi_seed: bool) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the Legion paper's claims (E1-E16, A1-A4).",
+        description="Reproduce the Legion paper's claims (E1-E17, A1-A4).",
     )
     parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--full", action="store_true", help="full-size sweeps")
@@ -300,7 +309,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help=(
             "run each sharded experiment's independent units (e9/e13/e15/"
-            "e16 jurisdiction sweeps) on up to N worker processes; reports "
+            "e16/e17 sweeps) on up to N worker processes; reports "
             "are byte-identical at any N (default 1)"
         ),
     )
@@ -372,6 +381,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "default 3 (one per jurisdiction)"
         ),
     )
+    parser.add_argument(
+        "--governor",
+        type=float,
+        default=None,
+        metavar="MULT",
+        help=(
+            "storm offered-load multiplier for governor-aware experiments: "
+            "e17 then drives its storm phase at MULT x capacity instead of "
+            "its default 8x"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -404,6 +424,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         autoscale=args.autoscale,
         overload=args.overload,
         replicas=args.replicas,
+        governor=args.governor,
         shards=args.shards,
     )
 

@@ -48,7 +48,7 @@ class AdmissionStats:
 class AdmissionController:
     """The bounded queue in front of one ObjectServer's dispatch loop."""
 
-    __slots__ = ("server", "config", "waiting", "stats", "_pumping")
+    __slots__ = ("server", "config", "waiting", "stats", "paused", "_pumping")
 
     def __init__(self, server, config) -> None:
         self.server = server
@@ -56,6 +56,9 @@ class AdmissionController:
         #: FIFO of REQUEST messages waiting for a dispatch slot.
         self.waiting: List[Message] = []
         self.stats = AdmissionStats()
+        #: Failed-band switch (repro.health): a paused server sheds every
+        #: new arrival with reason "paused" (already-queued work drains).
+        self.paused = False
         #: Reentrancy guard: dispatching a synchronous method replies (and
         #: pumps) before the outer pump loop's iteration finishes.
         self._pumping = False
@@ -64,6 +67,9 @@ class AdmissionController:
 
     def arrive(self, message: Message) -> None:
         """Admit, queue, or shed one incoming REQUEST message."""
+        if self.paused:
+            self._shed(message, "paused")
+            return
         server = self.server
         config = self.config
         size = self._size(message)

@@ -155,6 +155,27 @@ class TraceAudit:
 
     # -- reconciliation ---------------------------------------------------------
 
+    @staticmethod
+    def evidence_reconciles(
+        evidence,
+        name: str = "trace: health evidence ledgers reconcile (triple-entry)",
+    ) -> AuditFinding:
+        """The governor's HealthEvidence triple-entry shed check.
+
+        The governor, experiments, and this audit must read *one* view of
+        shedding: the metrics registry's counters, the FaultLog's
+        request-shed observations, and callers' wire-level Overloaded
+        settlements all name the same total.  Takes the snapshot rather
+        than a system so post-run audits check exactly the evidence the
+        governor last acted on.
+        """
+        ledgers = evidence.ledgers()
+        return AuditFinding(
+            name,
+            evidence.consistent,
+            " == ".join(f"{k} {v}" for k, v in sorted(ledgers.items())),
+        )
+
     def reconciles_with(
         self,
         counted: Dict[str, int],

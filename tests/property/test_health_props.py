@@ -1,0 +1,130 @@
+"""Property-based tests over the band machine's transition invariants.
+
+Hypothesis sweeps random evidence schedules (per-tick signal levels) and
+random dwell configurations; whatever the weather, the machine must
+uphold the archon72 contract:
+
+* **never skips a band**: every transition moves exactly one step;
+* **dwell respected**: consecutive degrades are at least ``degrade_dwell``
+  apart, recoveries at least ``recover_dwell`` after entering the band;
+* **no oscillation**: alternating hot/calm evidence faster than the
+  recovery dwell never produces a recover transition -- hysteresis
+  ratchets the band at its worst level instead of flapping;
+* **recovery monotone**: once evidence goes calm for good, the band walks
+  monotonically back to Stable and stays there.
+
+``derandomize=True`` keeps the sweep deterministic run to run.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.health.bands import Band, BandMachine, BandRules
+
+RULES = BandRules()  # shed_rate base 0.3, ladder (1, 3, 9, 27)
+
+
+def ev(shed_rate: float):
+    """Single-signal evidence: shed_rate carries the whole schedule."""
+    return SimpleNamespace(
+        shed_rate=shed_rate,
+        retry_denied_rate=0.0,
+        loss_backlog=0,
+        under_replicated=0,
+        queue_depth=0,
+    )
+
+
+#: Representative signal levels: calm, the hysteresis dead zone, and one
+#: level per severity rung of the default shed ladder.
+LEVELS = st.sampled_from([0.0, 0.2, 0.5, 1.0, 5.0, 10.0])
+SCHEDULES = st.lists(LEVELS, min_size=1, max_size=60)
+DWELLS = st.tuples(
+    st.floats(min_value=0.0, max_value=50.0),
+    st.floats(min_value=10.0, max_value=200.0),
+)
+TICK = 10.0
+
+
+def drive(schedule, degrade_dwell=20.0, recover_dwell=60.0):
+    """Run one schedule; returns (machine, transitions with timestamps)."""
+    machine = BandMachine(
+        rules=RULES, degrade_dwell=degrade_dwell, recover_dwell=recover_dwell
+    )
+    transitions = []
+    for tick, level in enumerate(schedule):
+        now = tick * TICK
+        transition = machine.step(ev(level), now)
+        if transition is not None:
+            transitions.append(transition)
+    return machine, transitions
+
+
+@settings(derandomize=True, max_examples=200)
+@given(schedule=SCHEDULES, dwells=DWELLS)
+def test_never_skips_a_band(schedule, dwells):
+    degrade_dwell, recover_dwell = dwells
+    machine, transitions = drive(schedule, degrade_dwell, recover_dwell)
+    band = Band.STABLE
+    for transition in transitions:
+        assert transition.from_band is band
+        assert abs(transition.to_band - transition.from_band) == 1
+        band = transition.to_band
+    assert machine.band is band
+
+
+@settings(derandomize=True, max_examples=200)
+@given(schedule=SCHEDULES, dwells=DWELLS)
+def test_dwell_times_are_respected(schedule, dwells):
+    degrade_dwell, recover_dwell = dwells
+    _machine, transitions = drive(schedule, degrade_dwell, recover_dwell)
+    entered = 0.0
+    for transition in transitions:
+        if transition.direction == "degrade":
+            # The first fall from Stable is immediate by design; every
+            # further fall waits out the dwell in the band it leaves.
+            if transition.from_band is not Band.STABLE:
+                assert transition.time - entered >= degrade_dwell
+        else:
+            assert transition.time - entered >= recover_dwell
+        entered = transition.time
+
+
+@settings(derandomize=True, max_examples=100)
+@given(
+    hot=st.sampled_from([0.5, 1.0, 5.0, 10.0]),
+    period=st.integers(min_value=1, max_value=5),
+    cycles=st.integers(min_value=2, max_value=12),
+)
+def test_alternating_evidence_never_recovers(hot, period, cycles):
+    # Hot/calm alternation with calm stretches shorter than the recovery
+    # dwell: the band may degrade, must never recover -- no oscillation.
+    recover_dwell = 60.0  # calm stretches: period * TICK <= 50 < 60
+    schedule = ([hot] * period + [0.0] * period) * cycles
+    _machine, transitions = drive(schedule, recover_dwell=recover_dwell)
+    assert all(t.direction == "degrade" for t in transitions)
+
+
+@settings(derandomize=True, max_examples=100)
+@given(prefix=SCHEDULES)
+def test_recovery_is_monotone_once_calm(prefix):
+    # Any stormy prefix, then calm forever: from the first recovery on,
+    # the band only rises, reaches Stable, and stays there.
+    calm_ticks = 200
+    schedule = prefix + [0.0] * calm_ticks
+    machine, transitions = drive(schedule)
+    start = len(prefix) * TICK
+    tail = [t for t in transitions if t.time >= start]
+    recovering = False
+    for transition in tail:
+        if transition.direction == "recover":
+            recovering = True
+        elif recovering:
+            raise AssertionError(
+                f"degrade after recovery began: {transition}"
+            )
+    assert machine.band is Band.STABLE
