@@ -53,6 +53,12 @@ def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
                 metrics["e17_governed_goodput"]["storm_goodput_x_capacity"]
             ),
         )
+    if "e9_mega" in metrics:
+        # The columnar mega-scale claim (higher is better): flatness of
+        # the E9 mega ladder's max per-class load, 1 / (1 + max(0, slope)).
+        # 1.0 = flat at 10^6 objects; 0.5 = load growing linearly with
+        # the population, i.e. the backend stopped scaling.
+        yield "e9_mega_slope", float(metrics["e9_mega"]["flatness"])
     if "sweep_multicore" in metrics:
         # Same polarity again: the sharded runner's serial/parallel wall
         # ratio on the E15 full sweep (see bench_shards).

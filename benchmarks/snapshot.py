@@ -149,6 +149,33 @@ def snapshot_e17_governed_goodput() -> dict:
     }
 
 
+def snapshot_e9_mega(mega: int = 1_000_000) -> dict:
+    """E9 mega-ladder flatness: the columnar-backend claim the gate protects.
+
+    Runs the E9 ``--mega`` population ladder (N/100, N/10, N) through the
+    columnar backend and fits the log-log slope of max per-class load.
+    The gated number is the bounded transform ``1 / (1 + max(0, slope))``
+    (higher is better; 1.0 = perfectly flat ladder) because ratios of
+    near-zero raw slopes are unstable.  Deterministic and simulated-time;
+    the wall-clock calls/sec of the top rung rides along for context.
+    """
+    import bench_mega  # deferred: needs the repro[mega] extra (numpy)
+
+    started = time.perf_counter()
+    ladder = bench_mega.ladder_throughput(mega, seed=0, quick=True)
+    wall = time.perf_counter() - started
+    top = ladder["rungs"][-1]
+    return {
+        "population": top["population"],
+        "slope": ladder["slope"],
+        "flatness": bench_mega.flatness(ladder["slope"]),
+        "all_settled": all(r["settled"] for r in ladder["rungs"]),
+        "top_calls_per_sec": top["calls_per_sec"],
+        "top_objects_per_sec": top["objects_per_sec"],
+        "wall_s": round(wall, 2),
+    }
+
+
 def snapshot_sweep_multicore(shards: int = 4) -> dict:
     """Jurisdiction-sharded E15 full-sweep speedup at ``--shards N``.
 
@@ -195,6 +222,10 @@ def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
             "sweep_multicore": snapshot_sweep_multicore(),
         },
     }
+    from repro.megascale.compat import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        data["metrics"]["e9_mega"] = snapshot_e9_mega()
     if not skip_sweep:
         data["metrics"]["sweep"] = snapshot_sweep(jobs)
     return data

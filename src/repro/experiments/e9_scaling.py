@@ -126,25 +126,45 @@ def _run_config(
     return maxima, spans, counts
 
 
-def shard_units(quick: bool = True) -> list:
+def shard_units(quick: bool = True, mega: Optional[int] = None) -> list:
     """The independent work units of one E9 sweep.
 
     Each unit is one (configuration arm, system size) pair: every unit
     builds its own :class:`LegionSystem` from the seed and shares
     nothing with the others, so units may run in separate worker
     processes (``--shards N``) in any order.
+
+    With ``mega`` (the ``--mega N`` flag), the columnar size ladder rides
+    along: one extra ``("mega", population)`` unit per rung, each running
+    the whole population through the frame-at-once backend with a live
+    escalation boundary (see :mod:`repro.megascale.adapters`).
     """
     sweep = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
-    return [
+    units = [
         (arm, n_sites) for n_sites in sweep for arm in ("mitigated", "strawman")
     ]
+    if mega:
+        from repro.megascale.adapters import e9_mega_sizes
+
+        units.extend(("mega", size) for size in e9_mega_sizes(mega, quick))
+    return units
 
 
 def shard_measure(
-    unit, quick: bool = True, seed: int = 0, trace: Optional[str] = None
+    unit,
+    quick: bool = True,
+    seed: int = 0,
+    trace: Optional[str] = None,
+    mega: Optional[int] = None,
 ) -> dict:
     """Run one unit; returns a picklable partial for :func:`shard_finish`."""
     arm, n_sites = unit
+    if arm == "mega":
+        from repro.megascale.adapters import run_e9_mega_unit
+
+        partial = run_e9_mega_unit(n_sites, seed=seed, quick=quick)
+        partial["arm"] = "mega"
+        return partial
     mitigated = arm == "mitigated"
     maxima, spans, counts = _run_config(
         n_sites,
@@ -163,7 +183,11 @@ def shard_measure(
 
 
 def shard_finish(
-    partials, quick: bool = True, seed: int = 0, trace: Optional[str] = None
+    partials,
+    quick: bool = True,
+    seed: int = 0,
+    trace: Optional[str] = None,
+    mega: Optional[int] = None,
 ) -> ExperimentResult:
     """Merge unit partials into the E9 result, in deterministic unit order.
 
@@ -172,6 +196,8 @@ def shard_finish(
     the float accumulation of ``sim_clock`` are byte-identical to the
     sequential run.
     """
+    mega_partials = [p for p in partials if p.get("arm") == "mega"]
+    partials = [p for p in partials if p.get("arm") != "mega"]
     by_unit = {(p["arm"], p["n_sites"]): p for p in partials}
     recorder = SeriesRecorder(x_label="sites")
     result = ExperimentResult(
@@ -261,10 +287,52 @@ def shard_finish(
         )
         path = export_trace(last_spans, trace, "e9", seed)
         result.notes += f"\ntrace (largest mitigated config): {path}"
+
+    if mega_partials:
+        mega_recorder = SeriesRecorder(x_label="population")
+        for p in sorted(mega_partials, key=lambda p: p["size"]):
+            result.sim_clock += p["sim_clock"]
+            result.sim_events += p["sim_events"]
+            mega_recorder.add(
+                p["size"],
+                max_class_load=p["max_class_load"],
+                issued=p["issued"],
+                shed=p["shed"],
+                promotions=p["promotions"],
+                checksum=p["checksum"],
+            )
+            result.check(
+                f"mega N={p['size']}: engine + wire settlement close",
+                p["settled"] and p["wire_settled"],
+                f"issued={p['issued']} completed={p['completed']} shed={p['shed']}",
+            )
+            result.check(
+                f"mega N={p['size']}: escalation boundary exercised, ids monotone",
+                p["promotions"] > 0
+                and p["demotions"] == p["promotions"]
+                and p["allocator_high_water"] == p["size"],
+                f"promotions={p['promotions']} high_water={p['allocator_high_water']}",
+            )
+        mega_slope = mega_recorder.slope("max_class_load", log_log=True)
+        result.check(
+            "mega: max per-class load ~flat across the population ladder",
+            mega_slope < 0.35,
+            f"log-log slope {mega_slope:.3f}",
+        )
+        result.mega_slope = mega_slope
+        result.notes += (
+            ("\n" if result.notes else "")
+            + mega_recorder.to_table(title="columnar mega-scale ladder:")
+        )
     return result
 
 
-def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> ExperimentResult:
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    trace: Optional[str] = None,
+    mega: Optional[int] = None,
+) -> ExperimentResult:
     """Sweep sites; compare mitigated vs strawman bottleneck growth.
 
     With ``trace``, every mitigated configuration also records causal
@@ -273,14 +341,18 @@ def run(quick: bool = True, seed: int = 0, trace: Optional[str] = None) -> Exper
     and at every size the ledger must reconcile exactly with the request
     counters the table is built from.
 
+    ``mega`` (the runner's ``--mega N`` flag) appends the columnar
+    size ladder: the same load-slope claim checked at 10^6-10^7 objects
+    through the frame-at-once backend.
+
     Composed from the shard protocol, so the sequential run IS the
     ``--shards 1`` reference the sharded runner reproduces.
     """
     partials = [
-        shard_measure(unit, quick=quick, seed=seed, trace=trace)
-        for unit in shard_units(quick=quick)
+        shard_measure(unit, quick=quick, seed=seed, trace=trace, mega=mega)
+        for unit in shard_units(quick=quick, mega=mega)
     ]
-    return shard_finish(partials, quick=quick, seed=seed, trace=trace)
+    return shard_finish(partials, quick=quick, seed=seed, trace=trace, mega=mega)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runner

@@ -166,6 +166,7 @@ def run_one(
     overload: Optional[float] = None,
     replicas: Optional[int] = None,
     governor: Optional[float] = None,
+    mega: Optional[int] = None,
     shards: int = 1,
 ) -> RunOutcome:
     """Execute one experiment; never raises (a crash is a failed outcome).
@@ -175,8 +176,9 @@ def run_one(
     (a chaos intensity) and ``report`` (an artifact directory) to
     fault-aware ones, ``autoscale`` (a max load multiplier) to e14,
     ``overload`` (a top offered-load multiplier) to e15/e16, ``replicas``
-    (a top replica count) to e16.  The rest run exactly as without the
-    flags.
+    (a top replica count) to e16, ``mega`` (a columnar population size)
+    to the mega-scale-aware experiments (e9/e14/e15).  The rest run
+    exactly as without the flags.
 
     ``shards`` > 1 runs the independent units (jurisdictions) of
     :data:`SHARDED` experiments on separate worker processes with a
@@ -194,6 +196,7 @@ def run_one(
             ("overload", overload),
             ("replicas", replicas),
             ("governor", governor),
+            ("mega", mega),
         ):
             if value is not None and _accepts(runner, keyword):
                 kwargs[keyword] = value
@@ -231,6 +234,7 @@ def run_many(
     overload: Optional[float] = None,
     replicas: Optional[int] = None,
     governor: Optional[float] = None,
+    mega: Optional[int] = None,
     shards: int = 1,
 ) -> List[RunOutcome]:
     """Run ``names`` x ``seeds``, ``jobs`` at a time; outcomes in input order.
@@ -249,7 +253,7 @@ def run_many(
     tasks = [
         (
             name, quick, seed, trace, faults, report,
-            autoscale, overload, replicas, governor, shards,
+            autoscale, overload, replicas, governor, mega, shards,
         )
         for seed in seeds
         for name in names
@@ -392,6 +396,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "its default 8x"
         ),
     )
+    parser.add_argument(
+        "--mega",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "columnar mega-scale population for mega-aware experiments: "
+            "e9 appends a frame-at-once size ladder up to N objects, "
+            "e14/e15 run their sweeps over an N-object columnar "
+            "population (requires the numpy 'mega' extra)"
+        ),
+    )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -425,6 +441,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         overload=args.overload,
         replicas=args.replicas,
         governor=args.governor,
+        mega=args.mega,
         shards=args.shards,
     )
 

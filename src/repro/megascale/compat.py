@@ -1,0 +1,36 @@
+"""Optional-numpy shim for the columnar mega-scale backend.
+
+The core reproduction runs without numpy (``repro[mega]`` is the extra
+that pulls it in); everything under :mod:`repro.megascale` must degrade
+to a clear, actionable error instead of an ImportError at import time.
+Tests use :data:`HAVE_NUMPY` (via ``pytest.importorskip``) to skip
+gracefully on numpy-less installs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LegionError
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY on both kinds of install
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less installs only
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+
+def require_numpy(feature: str = "the columnar mega-scale backend"):
+    """Return the numpy module, or raise a LegionError naming the fix.
+
+    Every megascale entry point (frame construction, the ``--mega``
+    experiment flag, the benchmarks) funnels through this so a numpy-less
+    install fails with one consistent message instead of a traceback
+    inside a kernel.
+    """
+    if not HAVE_NUMPY:
+        raise LegionError(
+            f"{feature} needs numpy, which is not installed; "
+            'install the optional extra: pip install "repro[mega]"'
+        )
+    return np

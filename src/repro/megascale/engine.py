@@ -1,0 +1,254 @@
+"""Frame-at-once transition kernels plus the escalation boundary.
+
+:class:`BulkEngine` drives a :class:`~repro.megascale.frame.StateFrame`
+through ticks: each tick takes the whole tick's call targets as one array
+and applies them with a handful of vectorised operations (bincount the
+arrivals, clip at the admission limit, scatter-add the serves and sheds,
+tally per class and per host).  No per-object Python runs for the bulk
+population -- that is the entire point.
+
+The *escalation boundary* is where the bulk world meets the rich-object
+path.  Any id the scenario actually touches -- a call on a designated
+"interesting" id, a fault on its host, a rebind, a clone -- is promoted
+out of the frame: its columns are snapshotted, a rich twin takes over,
+and subsequent calls to it run through the ordinary per-object machinery.
+When it goes quiet it is demoted back: the twin's state folds onto the
+*same* dense id (the allocator never recycles ids, so trace identities
+survive the round trip).
+
+The boundary is pluggable.  With ``boundary=None`` the engine carries
+twins as plain per-id Python dicts -- the smallest possible rich-object
+path, used by the reference/differential tests.  The live boundary in
+:mod:`repro.megascale.scenario` backs each twin with a real Legion object
+and routes escalated calls through ``runtime.invoke``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import LegionError
+from repro.megascale.frame import BULK, LOST, PROMOTED, StateFrame
+
+
+@dataclass
+class TickOutcome:
+    """One tick's accounting (all logical calls, not wire messages)."""
+
+    tick: int
+    issued: int = 0
+    bulk_served: int = 0
+    escalated: int = 0
+    shed: int = 0
+
+
+@dataclass
+class EngineLedger:
+    """Cumulative settlement ledger for one engine run.
+
+    The identity mirrors the runtime's: every issued logical call must be
+    accounted for -- served frame-at-once, served by a rich twin after
+    escalation, or shed at the bulk admission limit.
+    """
+
+    issued: int = 0
+    bulk_completed: int = 0
+    escalated_issued: int = 0
+    escalated_completed: int = 0
+    shed: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    fault_promotions: int = 0
+    promoted_by_fault: List[int] = field(default_factory=list)
+
+    def settled(self) -> bool:
+        """issued == bulk + escalated + shed, with no escalation pending."""
+        return (
+            self.issued
+            == self.bulk_completed + self.escalated_completed + self.shed
+            and self.escalated_issued == self.escalated_completed
+        )
+
+
+class BulkEngine:
+    """Vectorised transitions for the bulk band + the escalation boundary.
+
+    ``hot_ids`` are the scenario's standing "interesting set": calls to
+    them always escalate.  ``per_tick_limit`` caps how many calls one
+    bulk row admits per tick; the excess is shed (and tallied -- the
+    settlement identity keeps its ``+ shed`` term).
+    """
+
+    def __init__(
+        self,
+        frame: StateFrame,
+        hot_ids=(),
+        per_tick_limit: Optional[int] = None,
+        boundary=None,
+        demote_after: int = 3,
+    ) -> None:
+        self.np = frame.np
+        self.frame = frame
+        self.boundary = boundary
+        self.per_tick_limit = per_tick_limit
+        self.demote_after = int(demote_after)
+        self.ledger = EngineLedger()
+        self.hot = self.np.zeros(frame.size, dtype=bool)
+        for i in hot_ids:
+            self.hot[i] = True
+        #: promoted id → last tick a call touched it (drives demotion).
+        self._last_touch: Dict[int, int] = {}
+        #: promoted id → dict twin (only when no live boundary is set).
+        self._twins: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ kernels
+
+    def tick(self, tick: int, targets) -> TickOutcome:
+        """Apply one tick's calls: bulk frame-at-once, the rest escalated."""
+        np = self.np
+        frame = self.frame
+        t = np.asarray(targets, dtype=np.int64)
+        out = TickOutcome(tick=tick, issued=int(t.size))
+        self.ledger.issued += out.issued
+        if t.size == 0:
+            return out
+        if bool((t >= frame.size).any()) or bool((t < 0).any()):
+            raise LegionError("tick: target id out of range")
+
+        escalate_mask = self.hot[t] | (frame.state[t] != BULK)
+        bulk_targets = t[~escalate_mask]
+        esc_targets = t[escalate_mask]
+
+        # --- the bulk band: one pass of array arithmetic for the lot.
+        if bulk_targets.size:
+            arrivals = np.bincount(bulk_targets, minlength=frame.size)
+            if self.per_tick_limit is not None:
+                served = np.minimum(arrivals, self.per_tick_limit)
+                shed = arrivals - served
+            else:
+                served = arrivals
+                shed = np.zeros_like(arrivals)
+            frame.value += served
+            frame.calls += served
+            frame.shed += shed
+            frame.queue[: arrivals.size] = arrivals.astype(np.int32)
+            frame.class_calls += np.bincount(
+                frame.klass, weights=served, minlength=frame.n_classes
+            ).astype(np.int64)
+            if bool(shed.any()):
+                frame.class_sheds += np.bincount(
+                    frame.klass, weights=shed, minlength=frame.n_classes
+                ).astype(np.int64)
+            out.bulk_served = int(served.sum())
+            out.shed = int(shed.sum())
+            self.ledger.bulk_completed += out.bulk_served
+            self.ledger.shed += out.shed
+
+        # --- the escalated set: promote on first touch, then call rich.
+        for i in esc_targets.tolist():
+            self._escalated_call(int(i), tick)
+        out.escalated = int(esc_targets.size)
+        return out
+
+    def _escalated_call(self, i: int, tick: int) -> None:
+        """Route one call through the rich-object path (promoting first)."""
+        if int(self.frame.state[i]) != PROMOTED:
+            self._promote([i], reason="touch")
+        self._last_touch[i] = tick
+        self.ledger.escalated_issued += 1
+        if self.boundary is not None:
+            self.boundary.call(i)
+        else:
+            twin = self._twins[i]
+            twin["value"] += 1
+            self.note_escalated_done(i)
+
+    def note_escalated_done(self, i: int) -> None:
+        """One escalated call settled on the rich side; close the ledger."""
+        self.ledger.escalated_completed += 1
+        self.frame.class_calls[int(self.frame.klass[i])] += 1
+
+    # --------------------------------------------------------------- promotion
+
+    def _promote(self, ids: List[int], reason: str) -> None:
+        snapshots = self.frame.promote(ids)
+        self.ledger.promotions += len(snapshots)
+        if reason == "fault":
+            self.ledger.fault_promotions += len(snapshots)
+            self.ledger.promoted_by_fault.extend(int(i) for i in ids)
+        if self.boundary is not None:
+            self.boundary.promote(snapshots, reason=reason)
+        else:
+            for snap in snapshots:
+                self._twins[snap["id"]] = {"value": snap["value"]}
+
+    def demote_idle(self, tick: int) -> int:
+        """Fold quiet twins back into the frame; returns how many."""
+        idle = sorted(
+            i
+            for i, last in self._last_touch.items()
+            if tick - last >= self.demote_after
+        )
+        for i in idle:
+            self._demote(i)
+        return len(idle)
+
+    def demote_all(self) -> int:
+        """End-of-run drain: every twin folds back (reporting needs it)."""
+        promoted = sorted(self._last_touch)
+        for i in promoted:
+            self._demote(i)
+        return len(promoted)
+
+    def _demote(self, i: int) -> None:
+        home = int(self.frame.host[i])
+        if not bool(self.frame.host_up[home]):
+            home = self._surviving_host()
+        if self.boundary is not None:
+            value = self.boundary.demote(i)
+        else:
+            value = self._twins.pop(i)["value"]
+        self.frame.demote(i, value=value, host=home)
+        self._last_touch.pop(i, None)
+        self.ledger.demotions += 1
+
+    def _surviving_host(self) -> int:
+        np = self.np
+        up = np.nonzero(self.frame.host_up)[0]
+        if up.size == 0:
+            raise LegionError("no surviving host to re-home a demoted row")
+        return int(up[0])
+
+    # ------------------------------------------------------------------- chaos
+
+    def crash_host(self, host_id: int) -> List[int]:
+        """A bulk-backed host dies: promote *exactly* the affected ids.
+
+        The bulk rows occupying the crashed host's slots are the blast
+        radius -- each one is promoted into the rich-object path (the
+        frame snapshot is its checkpoint, exactly the magistrate/OPR
+        recovery shape), and nothing else moves bands.  Returns the
+        promoted ids, in dense-id order.
+        """
+        affected = self.frame.bulk_ids_on_host(host_id).tolist()
+        self.frame.crash_host(host_id)
+        if affected:
+            self._promote([int(i) for i in affected], reason="fault")
+            for i in affected:
+                self._last_touch.setdefault(int(i), 0)
+        return [int(i) for i in affected]
+
+    def restore_host(self, host_id: int) -> None:
+        """Bring the host back; demotion may re-home rows onto it again."""
+        self.frame.restore_host(host_id)
+
+    # --------------------------------------------------------------- reporting
+
+    def promoted_ids(self) -> List[int]:
+        """Currently promoted ids, in dense-id order."""
+        return sorted(self._last_touch)
+
+    def settled(self) -> bool:
+        """The engine-side settlement identity (shed term included)."""
+        return self.ledger.settled()

@@ -13,8 +13,6 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 
 @dataclass
 class SeriesRecorder:
@@ -81,13 +79,21 @@ class SeriesRecorder:
                 f"need >= 2 points to fit a slope for {name!r}, "
                 f"have {len(pts)}{extra}"
             )
-        xs = np.array([p[0] for p in pts], dtype=float)
-        ys = np.array([p[1] for p in pts], dtype=float)
+        xs = [float(p[0]) for p in pts]
+        ys = [float(p[1]) for p in pts]
         if log_log:
-            xs = np.log(xs)
-            ys = np.log(np.maximum(ys, 1e-12))
-        slope, _intercept = np.polyfit(xs, ys, 1)
-        return float(slope)
+            xs = [math.log(x) for x in xs]
+            ys = [math.log(max(y, 1e-12)) for y in ys]
+        # Ordinary least squares, closed form.  Pure Python keeps the
+        # core reproduction numpy-free (numpy is the ``repro[mega]``
+        # extra, needed only by the columnar mega-scale backend).
+        n = len(xs)
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        denom = sum((x - mx) ** 2 for x in xs)
+        if denom == 0.0:
+            raise ValueError("slope: all x values coincide after transform")
+        return sum((x - mx) * (y - my) for x, y in zip(xs, ys, strict=True)) / denom
 
     def ratio(self, name: str) -> float:
         """last/first value of a series (coarse growth factor)."""

@@ -1,0 +1,10 @@
+"""The megascale suite needs numpy; skip gracefully on numpy-less installs."""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="repro[mega] extra not installed")
+
+
+@pytest.fixture
+def numpy():
+    return np

@@ -1,0 +1,99 @@
+"""Chaos at the escalation boundary (satellite: fault-driven promotion).
+
+Crashing a host with bulk-backed slots must promote *exactly* the
+affected ids -- the bulk rows occupying that host's slots, nothing more --
+and the settlement identity (shed term included) must still close through
+the churn.
+"""
+
+import pytest
+
+from repro.megascale import BULK, PROMOTED, BulkEngine, StateFrame
+
+
+def build(n=600, n_classes=3, n_hosts=6, limit=2, hot=(0, 200, 400)):
+    frame = StateFrame(n_classes=n_classes, n_hosts=n_hosts)
+    np = frame.np
+    frame.extend(
+        n,
+        klass=(np.arange(n) % n_classes).astype(np.int32),
+        host=(np.arange(n) % n_hosts).astype(np.int32),
+    )
+    return frame, BulkEngine(frame, hot_ids=hot, per_tick_limit=limit, demote_after=2)
+
+
+class TestCrashPromotesExactlyTheAffected:
+    def test_blast_radius_is_the_bulk_rows_on_the_host(self):
+        frame, engine = build()
+        np = frame.np
+        expected = set(frame.bulk_ids_on_host(2).tolist())
+        assert expected  # the host actually had occupants
+        untouched_before = frame.band_histogram()["bulk"] - len(expected)
+        promoted = engine.crash_host(2)
+        assert set(promoted) == expected
+        assert promoted == sorted(promoted)  # dense-id order
+        assert engine.ledger.fault_promotions == len(expected)
+        assert sorted(engine.ledger.promoted_by_fault) == sorted(expected)
+        # nothing else moved bands
+        assert frame.band_histogram()["bulk"] == untouched_before
+        others = np.setdiff1d(np.arange(frame.size), np.asarray(promoted))
+        assert bool((frame.state[others] == BULK).all())
+        assert bool((frame.state[np.asarray(promoted)] == PROMOTED).all())
+
+    def test_already_promoted_rows_are_not_repromoted_by_the_crash(self):
+        frame, engine = build()
+        engine._escalated_call(2, 0)  # id 2 lives on host 2 (2 % 6)
+        assert int(frame.state[2]) == PROMOTED
+        promoted = engine.crash_host(2)
+        assert 2 not in promoted
+        assert promoted  # the host's other bulk rows still escalate
+
+    def test_crash_of_empty_host_promotes_nothing(self):
+        frame, engine = build()
+        first = engine.crash_host(3)
+        assert first
+        again = engine.crash_host(3)  # idempotent: slots already vacated
+        assert again == []
+
+
+class TestSettlementThroughChaos:
+    def test_identity_closes_with_shed_and_fault_churn(self):
+        frame, engine = build(limit=1)
+        np = frame.np
+        rng = np.random.default_rng(19)
+        for tick in range(12):
+            engine.tick(tick, rng.integers(0, frame.size, size=900))
+            if tick == 3:
+                engine.crash_host(1)
+            if tick == 7:
+                engine.restore_host(1)
+            engine.demote_idle(tick)
+        engine.demote_all()
+        ledger = engine.ledger
+        assert ledger.shed > 0  # the admission limit bit
+        assert ledger.fault_promotions > 0  # the crash bit
+        assert engine.settled()  # issued == bulk + escalated + shed
+        assert (
+            ledger.issued
+            == ledger.bulk_completed + ledger.escalated_completed + ledger.shed
+        )
+        # every fault-promoted id is back in the bulk band on a live host
+        assert frame.band_histogram()["promoted"] == 0
+        hosts = frame.host[np.asarray(ledger.promoted_by_fault, dtype=np.int64)]
+        assert bool(frame.host_up[hosts].all())
+
+    def test_demotion_rehomes_rows_off_the_dead_host(self):
+        frame, engine = build()
+        victims = engine.crash_host(0)
+        engine.demote_all()
+        assert bool((frame.host[victims] != 0).all())
+        assert frame.band_histogram()["promoted"] == 0
+
+    def test_no_surviving_host_is_a_clean_error(self):
+        from repro.errors import LegionError
+
+        frame, engine = build(n=6, n_hosts=2, hot=())
+        engine.crash_host(0)
+        engine.crash_host(1)
+        with pytest.raises(LegionError):
+            engine.demote_all()
