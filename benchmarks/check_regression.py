@@ -53,6 +53,18 @@ def throughputs(snapshot: dict) -> Iterator[Tuple[str, float]]:
                 metrics["e17_governed_goodput"]["storm_goodput_x_capacity"]
             ),
         )
+    if "e18_scenario_matrix" in metrics:
+        # The scenario-language claim (higher is better): mean peak-phase
+        # goodput of the catalog's plain rich-object replays, as a
+        # fraction of deployment capacity.  Deterministic simulated-time;
+        # it collapses if scenario compilation, arrival pacing, or the
+        # session drivers stop delivering the compiled workload.
+        yield (
+            "e18_scenario_matrix",
+            float(
+                metrics["e18_scenario_matrix"]["mean_plain_goodput_x"]
+            ),
+        )
     if "e9_mega" in metrics:
         # The columnar mega-scale claim (higher is better): flatness of
         # the E9 mega ladder's max per-class load, 1 / (1 + max(0, slope)).

@@ -149,6 +149,42 @@ def snapshot_e17_governed_goodput() -> dict:
     }
 
 
+def snapshot_e18_scenario_matrix() -> dict:
+    """E18 scenario-language claim the perf gate protects: every catalog
+    scenario's plain rich-object replay keeps delivering its goodput.
+
+    Runs the plain arm of each catalog scenario and records the mean
+    peak-phase goodput (fraction of deployment capacity, higher is
+    better).  Simulated-time and deterministic -- it collapses if the
+    compiler stops pacing arrivals, the driver stops completing
+    sessions, or the deployment stops serving the mix.  The MayI-denial
+    agreement and total delivered calls ride along for context.
+    """
+    from repro.experiments import e18_scenarios as e18
+    from repro.scenarios import scenario_names
+
+    started = time.perf_counter()
+    partials = [
+        e18.shard_measure((name, "plain", 0.0), quick=True, seed=0)
+        for name in scenario_names()
+    ]
+    wall = time.perf_counter() - started
+    goodputs = [
+        max((p["goodput_x"] for p in partial["phases"]), default=0.0)
+        for partial in partials
+    ]
+    return {
+        "scenarios": len(partials),
+        "mean_plain_goodput_x": round(sum(goodputs) / len(goodputs), 4),
+        "ok_total": sum(p["outcomes"]["ok"] for p in partials),
+        "denied_matches": all(
+            p["outcomes"]["denied"] == p["expected_denied"] for p in partials
+        ),
+        "all_settled": all(p["settled"] for p in partials),
+        "wall_s": round(wall, 2),
+    }
+
+
 def snapshot_e9_mega(mega: int = 1_000_000) -> dict:
     """E9 mega-ladder flatness: the columnar-backend claim the gate protects.
 
@@ -219,6 +255,7 @@ def take_snapshot(label: str, jobs: int, skip_sweep: bool) -> dict:
             "e15_goodput": snapshot_e15_goodput(),
             "e16_local_read": snapshot_e16_local_read(),
             "e17_governed_goodput": snapshot_e17_governed_goodput(),
+            "e18_scenario_matrix": snapshot_e18_scenario_matrix(),
             "sweep_multicore": snapshot_sweep_multicore(),
         },
     }

@@ -1,0 +1,845 @@
+"""E18 -- the scenario catalog swept across the subsystem matrix.
+
+Claim: one declarative scenario spec drives every subsystem.  Each
+catalog scenario (diurnal-regional, flash-crowd, multi-tenant,
+scientific-batch, repository) compiles once into a backend-neutral event
+stream and then replays unchanged through the plain rich-object runtime,
+under scheduled chaos with checkpoint/restart (``--faults``), under an
+operating-mode governor with flow control at an offered-load multiple
+(``--governor``), and through the columnar mega-scale backend at 10^6
+callers (``--mega``); ``--overload``, ``--autoscale``, and ``--replicas``
+add their arms on request.  Every (scenario, arm) cell is one
+independent work unit, so the sweep shards across worker processes and
+merges byte-identically.
+
+Method: for each cell, compile the scenario's event stream from the
+seed, deploy it (one jurisdiction per scenario site, one application
+object per (class, site, slot), one console per (tenant, site), a MayI
+ACL over Privileged()), arm the subsystem under test, replay, then
+reduce to a picklable partial carrying outcome counts, session
+conservation, per-phase goodput/latency, and the arm's own evidence
+(fault reconciliation, governor ledger, mega settlement).  The merge
+renders the scenario x subsystem matrix and checks the per-scenario
+shapes: the multi-tenant contention phase must show MayI denials, the
+flash surge must dwarf the calm rate, the diurnal peaks must land at
+different ticks per site, the repository must stay reader-heavy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.runtime import RetryPolicy
+from repro.experiments.common import ExperimentResult
+from repro.faults.driver import ChaosDriver, eligible_hosts
+from repro.faults.log import FaultLog
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoverySweeper
+from repro.flow import FlowConfig
+from repro.health import GovernorConfig, HealthLedger, enable_governor
+from repro.metrics.counters import ComponentKind
+from repro.metrics.recorder import SeriesRecorder
+from repro.scenarios import (
+    ReplicaRouting,
+    ScenarioDriver,
+    compile_events,
+    deploy,
+    get_scenario,
+    per_tick_arrivals,
+    scenario_names,
+    stream_stats,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: The fault arm's client policy: E13's patient, budgeted retry.
+CHAOS_RETRY_POLICY = RetryPolicy(
+    max_attempts=12,
+    base_backoff=10.0,
+    backoff_factor=2.0,
+    max_backoff=300.0,
+    jitter=0.5,
+    budget=10_000.0,
+    retry_partitions=True,
+    retry_resolution_failures=True,
+)
+#: Per-call deadline under chaos (rides out a crash + recovery).
+CHAOS_TIMEOUT = 600.0
+#: The checkpointed sentinel key every instance must answer after chaos.
+SENTINEL_KEY = 7
+
+#: Default arm parameters (overridden by the runner flags).
+DEFAULT_FAULTS = 1.0
+DEFAULT_GOVERNOR_MULT = 3.0
+DEFAULT_MEGA = 1_000_000
+
+#: The governed/overload arms' governor: E17's dwells and ladder.
+GOVERNOR = GovernorConfig(
+    degrade_dwell=30.0,
+    recover_dwell=80.0,
+    tick=10.0,
+    window=40.0,
+)
+
+MAX_EVENTS = 50_000_000
+
+
+def _flow(spec: ScenarioSpec) -> FlowConfig:
+    """E15's admission regime sized to the scenario's service time."""
+    return FlowConfig(
+        capacity=1,
+        queue_limit=14,
+        service_estimate=spec.service_time,
+        admit_kinds=frozenset({ComponentKind.APPLICATION}),
+        credit_window=8,
+    )
+
+
+def _sized(spec: ScenarioSpec, quick: bool) -> ScenarioSpec:
+    """Catalog durations are the --quick sizes; --full doubles them."""
+    if quick:
+        return spec
+    phases = tuple(replace(p, duration=p.duration * 2.0) for p in spec.phases)
+    return replace(spec, phases=phases)
+
+
+def _all_runtimes(system, clients):
+    servers = (
+        list(system.host_servers.values())
+        + list(system.magistrates.values())
+        + list(system.agents.values())
+        + [system.console]
+        + list(clients)
+    )
+    for host_server in system.host_servers.values():
+        for entry in host_server.impl.processes.running():
+            servers.append(entry.server)
+    return [s.runtime for s in servers]
+
+
+def _settles(runtime) -> bool:
+    """The RuntimeStats settlement identity, shed included."""
+    s = runtime.stats
+    settled = (
+        s.replies_received
+        + s.timeouts
+        + s.delivery_failures
+        + s.cancelled
+        + s.shed
+    )
+    return s.requests_sent == settled and not runtime._pending
+
+
+def _phase_outcomes(driver: ScenarioDriver) -> Dict[str, Dict[str, int]]:
+    """Per-phase outcome counts (by issue time, like phase_goodput)."""
+    out: Dict[str, Dict[str, int]] = {}
+    for rec in driver.records:
+        bucket = out.setdefault(
+            rec["phase"], {"ok": 0, "shed": 0, "denied": 0, "failed": 0, "pending": 0}
+        )
+        bucket[rec["outcome"]] += 1
+    return out
+
+
+def _shape_stats(spec: ScenarioSpec, plan) -> dict:
+    """The compiled stream's scenario-defining shape, for the checks."""
+    per_tick = per_tick_arrivals(plan)
+    shape: dict = {"per_tick": per_tick}
+    # Flash surge ratio: mean arrivals/tick inside vs outside the window.
+    t0 = 0.0
+    for phase in spec.phases:
+        if phase.arrival.kind == "flash":
+            lo = t0 + phase.arrival.surge_at
+            hi = lo + phase.arrival.surge_duration
+            inside, outside = [], []
+            for i, n in enumerate(per_tick):
+                t = i * spec.tick_ms
+                (inside if lo <= t < hi else outside).append(n)
+            mean_in = sum(inside) / len(inside) if inside else 0.0
+            mean_out = sum(outside) / len(outside) if outside else 0.0
+            shape["surge_ratio"] = mean_in / mean_out if mean_out else 0.0
+        t0 += phase.duration
+    # Diurnal site peaks: the tick index where each site's arrivals peak.
+    if any(p.arrival.kind == "diurnal" for p in spec.phases):
+        by_site = [[0] * len(plan) for _ in range(spec.sites)]
+        for i, tick in enumerate(plan):
+            for a in tick.arrivals:
+                by_site[a.site][i] += 1
+        shape["site_peaks"] = [
+            row.index(max(row)) if any(row) else -1 for row in by_site
+        ]
+    return shape
+
+
+def _drain(driver: ScenarioDriver, stats_fut):
+    system = driver.deployment.system
+    system.kernel.run_until_complete(stats_fut, max_events=MAX_EVENTS)
+    system.kernel.run()
+
+
+def _base_partial(driver: ScenarioDriver) -> dict:
+    """The fields every rich arm reports."""
+    system = driver.deployment.system
+    runtimes = _all_runtimes(system, driver.deployment.all_clients())
+    return {
+        "outcomes": driver.outcome_counts(),
+        "sessions": {
+            "started": driver.sessions.started,
+            "completed": driver.sessions.completed,
+            "abandoned": driver.sessions.abandoned,
+            "active": driver.sessions.active,
+        },
+        "phases": driver.phase_goodput(),
+        "phase_outcomes": _phase_outcomes(driver),
+        "settled": all(_settles(rt) for rt in runtimes),
+        "sim_clock": system.kernel.now,
+        "sim_events": system.kernel.events_executed,
+    }
+
+
+# ------------------------------------------------------------------- arms
+
+
+def _measure_plain(spec: ScenarioSpec, seed: int) -> dict:
+    plan = compile_events(spec, seed)
+    dep = deploy(spec, seed)
+    driver = ScenarioDriver(dep, plan)
+    _drain(driver, driver.start())
+    partial = _base_partial(driver)
+    partial["expected_denied"] = stream_stats(plan)["denied"]
+    partial["shape"] = _shape_stats(spec, plan)
+    partial["kinds"] = _kind_counts(driver)
+    return partial
+
+
+def _kind_counts(driver: ScenarioDriver) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for rec in driver.records:
+        counts[rec["kind"]] = counts.get(rec["kind"], 0) + 1
+    return counts
+
+
+def _measure_faults(spec: ScenarioSpec, seed: int, intensity: float) -> dict:
+    plan = compile_events(spec, seed)
+    # Classes pinned to site 0's first host: chaos spares the protected
+    # hosts, so the metadata spine survives (the E13 recipe).
+    dep = deploy(spec, seed, pin_classes=True)
+    system = dep.system
+    # Seed a sentinel write into every instance and checkpoint it, so a
+    # crash can only cost repair traffic, never the state.
+    instance_loids = [
+        loid for key in sorted(dep.instances) for loid in dep.instances[key]
+    ]
+    for k, cls in enumerate(dep.classes):
+        for si in range(spec.sites):
+            for loid in dep.instances[(k, si)]:
+                system.call(loid, "Write", SENTINEL_KEY)
+                row = system.call(cls.loid, "GetRow", loid)
+                system.call(row.current_magistrates[0], "Checkpoint", loid)
+    for client in dep.all_clients():
+        client.runtime.retry_policy = CHAOS_RETRY_POLICY
+
+    log = FaultLog()
+    fault_plan = FaultPlan.generate(
+        system.services.rng.stream(f"e18-faults-{spec.name}"),
+        horizon=spec.duration,
+        intensity=intensity,
+        hosts=eligible_hosts(system),
+        sites=[s.name for s in system.sites],
+        objects=[str(loid) for loid in instance_loids],
+    )
+    chaos = ChaosDriver(system, fault_plan, log)
+    sweeper = RecoverySweeper(system, interval=100.0)
+    driver = ScenarioDriver(
+        dep, plan, use_deadlines=False, timeout=CHAOS_TIMEOUT
+    )
+    chaos.start()
+    sweeper.start()
+    stats_fut = driver.start()
+    system.kernel.run_until_complete(stats_fut, max_events=MAX_EVENTS)
+    sweeper.stop()
+    system.kernel.run()  # late chaos events, heals, and restores drain here
+    for site in sorted(system.magistrates):
+        fut = system.spawn(system.magistrates[site].impl.sweep_hosts())
+        system.kernel.run_until_complete(fut)
+    # Every instance must still answer with the checkpointed sentinel; a
+    # straggler lost on a live host is recovered by this very call.
+    state_intact = all(
+        system.call(loid, "Read", SENTINEL_KEY) >= 1 for loid in instance_loids
+    )
+    partial = _base_partial(driver)
+    lost = sorted(set(log.lost_objects()))
+    recovered = set(log.recovered_objects())
+    partial.update(
+        {
+            "faults": log.summary(),
+            "lost": len(lost),
+            "unrecovered": [o for o in lost if o not in recovered],
+            "state_intact": state_intact,
+        }
+    )
+    return partial
+
+
+def _measure_governor(spec: ScenarioSpec, seed: int, mult: float) -> dict:
+    # The same spec at ``mult`` x its offered load, behind E15's flow
+    # admission, with the operating-mode governor watching the consoles.
+    plan = compile_events(spec, seed, rate_scale=mult)
+    dep = deploy(spec, seed, flow=_flow(spec))
+    system = dep.system
+    critical = frozenset(
+        str(loid) for key in sorted(dep.instances) for loid in dep.instances[key]
+    )
+    config = replace(GOVERNOR, critical=critical)
+    governor = enable_governor(system, config)
+    governor.track(*dep.all_clients())
+    driver = ScenarioDriver(dep, plan, use_deadlines=False)
+    stats_fut = driver.start()
+    system.kernel.run_until_complete(stats_fut, max_events=MAX_EVENTS)
+    governor.stop_loop()  # endless tick loop would pin the drain below
+    system.kernel.run()
+    governor.poll()  # observe the drained world once more
+    records = governor.ledger.to_json()
+    ledger_ok = HealthLedger.verify_records(records) is None
+    band = governor.band.label
+    governor.stop()
+    partial = _base_partial(driver)
+    partial.update(
+        {
+            "ledger_ok": ledger_ok,
+            "ledger_records": len(records),
+            "band_final": band,
+            "bands_seen": sorted({r["to_band"] for r in records}),
+        }
+    )
+    return partial
+
+
+def _measure_overload(spec: ScenarioSpec, seed: int, mult: float) -> dict:
+    """Flow admission alone (no governor) at ``mult`` x offered load."""
+    plan = compile_events(spec, seed, rate_scale=mult)
+    dep = deploy(spec, seed, flow=_flow(spec))
+    driver = ScenarioDriver(dep, plan, use_deadlines=False)
+    _drain(driver, driver.start())
+    return _base_partial(driver)
+
+
+def _measure_autoscale(spec: ScenarioSpec, seed: int, high_water: float) -> dict:
+    """Class 0 under a CloneController; its sessions ride the clone pool."""
+    from repro.autoscale import (
+        AutoscaleConfig,
+        CloneController,
+        ClonePoolRouter,
+        build_placement_agent,
+    )
+
+    plan = compile_events(spec, seed)
+    dep = deploy(spec, seed)
+    system = dep.system
+    hot = dep.classes[0]
+    controller = CloneController(
+        system,
+        hot,
+        AutoscaleConfig(
+            high_water=high_water,
+            low_water=high_water / 6.0,
+            cooldown=40.0,
+            tick=8.0,
+            max_clones=6,
+        ),
+        placement=build_placement_agent(system),
+    )
+    controller.start()
+    routers = {
+        id(client): ClonePoolRouter(client, hot, refresh=20.0)
+        for client in dep.all_clients()
+    }
+    for router in routers.values():
+        router.start()
+
+    def invoke_via(driver, client, a, req, timeout):
+        if a.klass == 0:  # the hot class: ride the clone pool
+            target = routers[id(client)].choose()
+            yield from client.runtime.invoke(
+                target, "CloneEpoch", timeout=timeout
+            )
+        else:
+            yield from ScenarioDriver._default_invoke(
+                driver, client, a, req, timeout
+            )
+
+    driver = ScenarioDriver(dep, plan, invoke_via=invoke_via, timeout=400.0)
+    stats_fut = driver.start()
+    system.kernel.run_until_complete(stats_fut, max_events=MAX_EVENTS)
+    # Scale-down: with the traffic gone the pool must drain back.
+    deadline = system.kernel.now + 6_000.0
+    while (
+        system.kernel.now < deadline
+        and system.call(hot.loid, "CloneCount") > 0
+    ):
+        system.kernel.run(until=system.kernel.now + 100.0)
+    drained = system.call(hot.loid, "CloneCount") == 0
+    controller.stop()
+    for router in routers.values():
+        router.stop()
+    system.kernel.run()
+    peak = live = 0
+    for _when, what, _loid in controller.actions:
+        live += 1 if what == "spawn" else -1
+        peak = max(peak, live)
+    partial = _base_partial(driver)
+    partial.update(
+        {
+            "peak_clones": peak,
+            "actions": len(controller.actions),
+            "drained_to_min": drained,
+        }
+    )
+    return partial
+
+
+def _measure_replicas(spec: ScenarioSpec, seed: int, replicas: int) -> dict:
+    """Reads/writes ride per-class replica groups under the spec policy."""
+    from repro.replication import ReplicaSession, enable_replication
+    from repro.replication.store import ReplicatedStoreImpl
+
+    plan = compile_events(spec, seed)
+    dep = deploy(spec, seed)
+    system = dep.system
+    enable_replication(system)
+    members = min(int(replicas), spec.sites)
+    bindings = []
+    for k in range(spec.n_classes):
+        cls = system.create_class(
+            f"ScenarioStore{k}",
+            factory=lambda: ReplicatedStoreImpl(service_time=spec.read_time),
+            consistency=spec.consistency,
+        )
+        binding = system.call(cls.loid, "CreateReplicated", members, "first", 1)
+        session = ReplicaSession(system.console.runtime, binding, spec.consistency)
+
+        def prime(session=session):
+            # ``seed()`` freezes the group (read-any immutability); for
+            # mutable policies the keys go in through ordinary writes.
+            if spec.consistency == "read-any":
+                yield from session.seed((f"k{i}", 0) for i in range(16))
+            else:
+                for i in range(16):
+                    yield from session.write(f"k{i}", 0)
+
+        system.kernel.run_until_complete(
+            system.spawn(prime(), name=f"e18-seed-{k}")
+        )
+        bindings.append(binding)
+    routing = ReplicaRouting(bindings=bindings, consistency=spec.consistency)
+    driver = ScenarioDriver(dep, plan, invoke_via=routing.invoke_via)
+    _drain(driver, driver.start())
+    partial = _base_partial(driver)
+    partial["replica_members"] = members
+    return partial
+
+
+def _measure_mega(spec: ScenarioSpec, seed: int, population: int) -> dict:
+    """The whole scenario through the columnar backend at ``population``."""
+    from repro.scenarios.mega import frame_arrivals, run_scenario_mega
+
+    report = run_scenario_mega(spec, seed, population=int(population))
+    frames_agree = frame_arrivals(spec, seed) == per_tick_arrivals(
+        compile_events(spec, seed)
+    )
+    return {
+        "population": report["population"],
+        "scale": report["scale"],
+        "issued": report["issued"],
+        "denied": report["denied"],
+        "shed": report["shed"],
+        "served": report["served"],
+        "settled": report["settled"],
+        "ticks": report["ticks"],
+        "drain_ticks": report["drain_ticks"],
+        "peak_target_backlog_ms": report["peak_target_backlog_ms"],
+        "checksum": report["checksum"],
+        "frames_agree": frames_agree,
+        # Deterministic stand-ins for the kernel fingerprints.
+        "sim_clock": (report["ticks"] + report["drain_ticks"]) * spec.tick_ms,
+        "sim_events": report["issued"],
+    }
+
+
+_MEASURES = {
+    "plain": _measure_plain,
+    "faults": _measure_faults,
+    "governor": _measure_governor,
+    "overload": _measure_overload,
+    "autoscale": _measure_autoscale,
+    "replicas": _measure_replicas,
+    "mega": _measure_mega,
+}
+
+
+# --------------------------------------------------------- shard protocol
+
+
+def _arms(
+    faults: Optional[float] = None,
+    governor: Optional[float] = None,
+    overload: Optional[float] = None,
+    autoscale: Optional[float] = None,
+    replicas: Optional[int] = None,
+    mega: Optional[int] = None,
+) -> List[Tuple[str, float]]:
+    """The (arm, parameter) columns of the matrix, flags applied."""
+    arms = [
+        ("plain", 0.0),
+        ("faults", float(faults) if faults is not None else DEFAULT_FAULTS),
+        (
+            "governor",
+            float(governor) if governor is not None else DEFAULT_GOVERNOR_MULT,
+        ),
+        ("mega", float(mega) if mega is not None else float(DEFAULT_MEGA)),
+    ]
+    if overload is not None:
+        arms.insert(3, ("overload", float(overload)))
+    if autoscale is not None:
+        arms.insert(3, ("autoscale", float(autoscale)))
+    if replicas is not None:
+        arms.insert(3, ("replicas", float(replicas)))
+    return arms
+
+
+def shard_units(
+    quick: bool = True,
+    faults: Optional[float] = None,
+    governor: Optional[float] = None,
+    overload: Optional[float] = None,
+    autoscale: Optional[float] = None,
+    replicas: Optional[int] = None,
+    mega: Optional[int] = None,
+) -> list:
+    """One unit per (scenario, arm) cell of the matrix.
+
+    Every cell builds its own system from the seed, so cells may run in
+    separate worker processes (``--shards N``) in any order; the merge in
+    :func:`shard_finish` consumes partials in this declaration order, so
+    the report is byte-identical however the cells were scheduled.
+    """
+    arms = _arms(faults, governor, overload, autoscale, replicas, mega)
+    return [
+        (name, arm, param)
+        for name in scenario_names()
+        for arm, param in arms
+    ]
+
+
+def shard_measure(
+    unit,
+    quick: bool = True,
+    seed: int = 0,
+    faults: Optional[float] = None,
+    governor: Optional[float] = None,
+    overload: Optional[float] = None,
+    autoscale: Optional[float] = None,
+    replicas: Optional[int] = None,
+    mega: Optional[int] = None,
+) -> dict:
+    """Run one (scenario, arm) cell; reduce to a picklable partial."""
+    name, arm, param = unit
+    spec = _sized(get_scenario(name), quick)
+    if arm == "plain":
+        partial = _measure_plain(spec, seed)
+    elif arm == "replicas":
+        partial = _measure_replicas(spec, seed, int(param))
+    elif arm == "mega":
+        partial = _measure_mega(spec, seed, int(param))
+    else:
+        partial = _MEASURES[arm](spec, seed, param)
+    partial.update({"scenario": name, "arm": arm, "param": param})
+    return partial
+
+
+def _matrix_row(by_arm: Dict[str, dict]) -> Dict[str, float]:
+    """One scenario's recorder row: the same columns for every row."""
+    row: Dict[str, float] = {}
+    for arm in by_arm:
+        p = by_arm[arm]
+        if arm == "mega":
+            row["mega_served"] = p["served"]
+            row["mega_shed"] = p["shed"]
+            continue
+        out = p["outcomes"]
+        row[f"{arm}_ok"] = out["ok"]
+        if arm == "plain":
+            row["plain_denied"] = out["denied"]
+            goodx = max((ph["goodput_x"] for ph in p["phases"]), default=0.0)
+            p99 = max((ph["p99"] for ph in p["phases"]), default=0.0)
+            row["plain_goodx"] = goodx
+            row["plain_p99"] = p99
+        elif arm == "faults":
+            row["faults_failed"] = out["failed"]
+        elif arm in ("governor", "overload"):
+            row[f"{arm}_shed"] = out["shed"]
+        elif arm == "autoscale":
+            row["auto_peak"] = p["peak_clones"]
+        elif arm == "replicas":
+            row["repl_failed"] = out["failed"]
+    return row
+
+
+def shard_finish(
+    partials,
+    quick: bool = True,
+    seed: int = 0,
+    faults: Optional[float] = None,
+    governor: Optional[float] = None,
+    overload: Optional[float] = None,
+    autoscale: Optional[float] = None,
+    replicas: Optional[int] = None,
+    mega: Optional[int] = None,
+    report: Optional[str] = None,
+) -> ExperimentResult:
+    """Merge cell partials into the E18 result, in unit order."""
+    arms = [a for a, _p in _arms(faults, governor, overload, autoscale, replicas, mega)]
+    names = scenario_names()
+    cells: Dict[str, Dict[str, dict]] = {n: {} for n in names}
+    for p in partials:
+        cells[p["scenario"]][p["arm"]] = p
+
+    recorder = SeriesRecorder(x_label="scenario")
+    for i, name in enumerate(names):
+        by_arm = {arm: cells[name][arm] for arm in arms}
+        recorder.add(i, **_matrix_row(by_arm))
+
+    result = ExperimentResult(
+        experiment="E18",
+        title="scenario catalog x subsystem matrix (declarative workloads)",
+        claim=(
+            "one declarative scenario spec compiles into both the "
+            "rich-object runtime and the columnar mega-scale backend, and "
+            "replays unchanged under chaos, flow-governed overload, and "
+            "10^6-caller populations"
+        ),
+        recorder=recorder,
+    )
+
+    rich_arms = [a for a in arms if a != "mega"]
+    result.check(
+        "every rich (scenario, arm) cell settles its request ledger",
+        all(cells[n][a]["settled"] for n in names for a in rich_arms),
+        f"{len(names) * len(rich_arms)} cells",
+    )
+    conserved = all(
+        cells[n][a]["sessions"]["active"] == 0
+        and cells[n][a]["sessions"]["started"]
+        == cells[n][a]["sessions"]["completed"]
+        + cells[n][a]["sessions"]["abandoned"]
+        for n in names
+        for a in rich_arms
+    )
+    result.check(
+        "session conservation: started == completed + abandoned, none stuck",
+        conserved,
+    )
+    plain_clean = all(
+        cells[n]["plain"]["outcomes"]["failed"] == 0
+        and cells[n]["plain"]["outcomes"]["shed"] == 0
+        for n in names
+    )
+    result.check(
+        "plain arm: no failed and no shed calls in any scenario",
+        plain_clean,
+    )
+    denial_match = all(
+        cells[n]["plain"]["outcomes"]["denied"]
+        == cells[n]["plain"]["expected_denied"]
+        for n in names
+    )
+    result.check(
+        "MayI denials match the compiled expectation in every scenario",
+        denial_match,
+    )
+
+    mt = cells["multi-tenant"]["plain"]
+    contention = mt["phase_outcomes"].get("contention", {})
+    result.check(
+        "multi-tenant: MayI denies unprivileged Privileged() probes "
+        "under contention",
+        contention.get("denied", 0) > 0 and contention.get("ok", 0) > 0,
+        f"contention denied={contention.get('denied', 0)} "
+        f"ok={contention.get('ok', 0)}",
+    )
+    surge = cells["flash-crowd"]["plain"]["shape"].get("surge_ratio", 0.0)
+    result.check(
+        "flash-crowd: surge-window arrival rate >= 3x the calm rate",
+        surge >= 3.0,
+        f"surge/calm = {surge:.2f}",
+    )
+    peaks = cells["diurnal-regional"]["plain"]["shape"].get("site_peaks", [])
+    result.check(
+        "diurnal-regional: per-site load peaks land at different ticks",
+        len(peaks) == len(set(peaks)) and len(peaks) >= 2,
+        f"peak ticks {peaks}",
+    )
+    kinds = cells["repository"]["plain"]["kinds"]
+    reads, writes = kinds.get("read", 0), kinds.get("write", 0)
+    result.check(
+        "repository: reader-heavy (reads >= 10x writes)",
+        writes >= 0 and reads >= 10 * max(writes, 1),
+        f"reads={reads} writes={writes}",
+    )
+
+    if "faults" in arms:
+        fa = [cells[n]["faults"] for n in names]
+        result.check(
+            "faults arm: chaos costs repair traffic, never wrong answers "
+            "(no failed calls, checkpointed state intact, all losses "
+            "recovered)",
+            all(
+                p["outcomes"]["failed"] == 0
+                and p["state_intact"]
+                and not p["unrecovered"]
+                for p in fa
+            ),
+            f"lost={sum(p['lost'] for p in fa)} across {len(fa)} scenarios",
+        )
+    if "governor" in arms:
+        ga = [cells[n]["governor"] for n in names]
+        result.check(
+            "governor arm: hash-chained ledger verifies and goodput "
+            "survives the overload in every scenario",
+            all(p["ledger_ok"] and p["outcomes"]["ok"] > 0 for p in ga),
+            f"bands seen: {sorted(set(b for p in ga for b in p['bands_seen']))}",
+        )
+    if "overload" in arms:
+        oa = [cells[n]["overload"] for n in names]
+        result.check(
+            "overload arm: flow admission sheds the excess explicitly",
+            all(p["outcomes"]["ok"] > 0 for p in oa)
+            and any(p["outcomes"]["shed"] > 0 for p in oa),
+        )
+    if "autoscale" in arms:
+        aa = [cells[n]["autoscale"] for n in names]
+        result.check(
+            "autoscale arm: the clone pool grows under load and drains "
+            "back to zero after it",
+            all(p["drained_to_min"] for p in aa)
+            and any(p["peak_clones"] > 0 for p in aa),
+            f"peaks {[p['peak_clones'] for p in aa]}",
+        )
+    if "replicas" in arms:
+        ra = [cells[n]["replicas"] for n in names]
+        result.check(
+            "replicas arm: every scenario's reads/writes ride the "
+            "replica groups without failures",
+            all(
+                p["outcomes"]["failed"] == 0 and p["outcomes"]["ok"] > 0
+                for p in ra
+            ),
+        )
+    ma = [cells[n]["mega"] for n in names]
+    result.check(
+        "mega arm: every scenario settles issued == denied + shed + "
+        "served at >= 10^6 callers",
+        all(p["settled"] and p["population"] >= p["param"] for p in ma),
+        f"populations {[p['population'] for p in ma]}",
+    )
+    result.check(
+        "rich-vs-mega agreement: identical per-frame session arrivals",
+        all(p["frames_agree"] for p in ma),
+    )
+
+    notes = ["scenario index: " + ", ".join(f"{i}={n}" for i, n in enumerate(names))]
+    for name in names:
+        g = cells[name].get("governor")
+        if g:
+            notes.append(
+                f"{name}: governor bands {g['bands_seen']} -> "
+                f"{g['band_final']} ({g['ledger_records']} ledger records)"
+            )
+    result.notes = "\n".join(notes)
+
+    result.sim_clock = sum(
+        cells[n][a]["sim_clock"] for n in names for a in arms
+    )
+    result.sim_events = sum(
+        cells[n][a]["sim_events"] for n in names for a in arms
+    )
+
+    if report is not None:
+        os.makedirs(report, exist_ok=True)
+        path = os.path.join(report, f"e18-scenarios-seed{seed}.json")
+        payload = {
+            "experiment": "E18",
+            "seed": seed,
+            "quick": quick,
+            "arms": arms,
+            "scenarios": {
+                name: {
+                    arm: {
+                        k: v
+                        for k, v in cells[name][arm].items()
+                        if k not in ("shape",)
+                    }
+                    for arm in arms
+                }
+                for name in names
+            },
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in result.checks
+            ],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        result.notes += f"\nreport: {path}"
+    return result
+
+
+def run(
+    quick: bool = True,
+    seed: int = 0,
+    faults: Optional[float] = None,
+    governor: Optional[float] = None,
+    overload: Optional[float] = None,
+    autoscale: Optional[float] = None,
+    replicas: Optional[int] = None,
+    mega: Optional[int] = None,
+    report: Optional[str] = None,
+) -> ExperimentResult:
+    """The whole matrix in-process (the --shards path splits the units)."""
+    units = shard_units(
+        quick,
+        faults=faults,
+        governor=governor,
+        overload=overload,
+        autoscale=autoscale,
+        replicas=replicas,
+        mega=mega,
+    )
+    partials = [
+        shard_measure(
+            unit,
+            quick=quick,
+            seed=seed,
+            faults=faults,
+            governor=governor,
+            overload=overload,
+            autoscale=autoscale,
+            replicas=replicas,
+            mega=mega,
+        )
+        for unit in units
+    ]
+    return shard_finish(
+        partials,
+        quick=quick,
+        seed=seed,
+        faults=faults,
+        governor=governor,
+        overload=overload,
+        autoscale=autoscale,
+        replicas=replicas,
+        mega=mega,
+        report=report,
+    )

@@ -1,6 +1,6 @@
 """The experiment runner: registry, parallel fan-out, and the CLI.
 
-The full sweep (E1-E12 plus the A1-A4 ablations) is embarrassingly
+The full sweep (E1-E18 plus the A1-A4 ablations) is embarrassingly
 parallel: every experiment builds its own :class:`LegionSystem` from a
 seed and shares nothing with the others.  ``run_many`` therefore fans the
 sweep across a :class:`concurrent.futures.ProcessPoolExecutor` when asked
@@ -44,6 +44,7 @@ from repro.experiments import (
     e15_overload,
     e16_georeplication,
     e17_governor,
+    e18_scenarios,
 )
 from repro.experiments.ablation_ttl_locality import run_locality, run_ttl
 
@@ -62,6 +63,7 @@ SHARDED = {
     "e15": e15_overload,
     "e16": e16_georeplication,
     "e17": e17_governor,
+    "e18": e18_scenarios,
 }
 
 RUNNERS = {
@@ -82,6 +84,7 @@ RUNNERS = {
     "e15": e15_overload.run,
     "e16": e16_georeplication.run,
     "e17": e17_governor.run,
+    "e18": e18_scenarios.run,
     "a1": ablation_propagation.run,
     "a2": ablation_caching.run,
     "a3": run_ttl,
@@ -281,7 +284,7 @@ def render_summary(outcomes: Sequence[RunOutcome], multi_seed: bool) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the Legion paper's claims (E1-E17, A1-A4).",
+        description="Reproduce the Legion paper's claims (E1-E18, A1-A4).",
     )
     parser.add_argument("names", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--full", action="store_true", help="full-size sweeps")
@@ -313,7 +316,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help=(
             "run each sharded experiment's independent units (e9/e13/e15/"
-            "e16/e17 sweeps) on up to N worker processes; reports "
+            "e16/e17/e18 sweeps) on up to N worker processes; reports "
             "are byte-identical at any N (default 1)"
         ),
     )
@@ -409,6 +412,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the scenario catalog (the workloads e18 sweeps)",
+    )
     args = parser.parse_args(argv)
 
     if args.full and args.quick:
@@ -421,6 +429,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         for name in RUNNERS:
             print(name)
+        return 0
+
+    if args.list_scenarios:
+        from repro.scenarios import catalog
+
+        specs = catalog()
+        width = max(len(name) for name in specs)
+        for name, spec in specs.items():
+            print(f"{name:<{width}}  {spec.description}")
         return 0
 
     names = [n.lower() for n in (args.names or list(RUNNERS))]

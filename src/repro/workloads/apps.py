@@ -145,3 +145,86 @@ class SerialServiceImpl(LegionObjectImpl):
     def completed_count(self) -> int:
         """How many Work() calls have finished."""
         return self.completed
+
+
+class ScenarioServiceImpl(LegionObjectImpl):
+    """The scenario catalog's application object (``repro.scenarios``).
+
+    One serial FIFO service (the :class:`SerialServiceImpl` discipline)
+    exporting the four request kinds of the scenario language: cheap
+    ``Read``, mutating ``Write``, unit-weighted ``Work`` (a batch job is
+    just ``Work(units)``), and a ``Privileged`` operation meant to sit
+    behind a MayI policy.  All state is persistent, so checkpoint /
+    restart (SaveState/OPRs) and migration round-trips preserve the
+    read/write ledger -- the scenario experiments verify exactly that.
+    """
+
+    def __init__(self, service_time: float = 1.0, read_time: float = 0.25) -> None:
+        self.service_time = float(service_time)
+        self.read_time = float(read_time)
+        self.busy_until = 0.0
+        self.data: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.worked = 0.0
+        self.privileged_ops = 0
+
+    def persistent_attributes(self) -> List[str]:
+        return [
+            "service_time",
+            "read_time",
+            "busy_until",
+            "data",
+            "reads",
+            "writes",
+            "worked",
+            "privileged_ops",
+        ]
+
+    def _occupy(self, cost: float):
+        """Claim the next free FIFO slot for ``cost`` simulated ms."""
+        now = self.services.kernel.now
+        start = self.busy_until if self.busy_until > now else now
+        self.busy_until = start + cost
+        yield Timeout(self.busy_until - now)
+
+    @legion_method("int Read(int)")
+    def read(self, key: int):
+        """Serve one read of ``key``; returns its write count."""
+        yield from self._occupy(self.read_time)
+        self.reads += 1
+        return self.data.get(int(key), 0)
+
+    @legion_method("int Write(int)")
+    def write(self, key: int):
+        """Serve one write of ``key``; returns its new write count."""
+        yield from self._occupy(self.service_time)
+        value = self.data.get(int(key), 0) + 1
+        self.data[int(key)] = value
+        self.writes += 1
+        return value
+
+    @legion_method("float Work(float)")
+    def work(self, units: float):
+        """Occupy the service for ``units`` x service_time ms."""
+        yield from self._occupy(float(units) * self.service_time)
+        self.worked += float(units)
+        return self.busy_until
+
+    @legion_method("int Privileged()")
+    def privileged(self):
+        """The gated operation: only tenants a MayI policy admits."""
+        yield from self._occupy(self.service_time)
+        self.privileged_ops += 1
+        return self.privileged_ops
+
+    @legion_method("dict Ledger()")
+    def ledger(self) -> Dict[str, Any]:
+        """The service's tally (reads/writes/work/privileged + data sum)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "worked": self.worked,
+            "privileged": self.privileged_ops,
+            "data_sum": sum(self.data.values()),
+        }

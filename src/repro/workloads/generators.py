@@ -108,7 +108,60 @@ class TrafficStats:
         return self.calls_succeeded / self.calls_issued if self.calls_issued else 0.0
 
 
-class TrafficDriver:
+class SessionLoopDriver:
+    """Shared session-loop core for every traffic driver.
+
+    A driver owns a kernel, a roster of client consoles, a shared
+    :class:`TrafficStats`, and one simulation process per client
+    (``_client_loop``).  ``_invoke_once`` is the single place an
+    invocation outcome is classified and tallied, so closed-loop,
+    open-loop, and scenario drivers (``repro.scenarios``) count calls
+    identically.  Subclasses set ``kind`` (the spawn-name prefix) and
+    implement ``_client_loop(client)``.
+    """
+
+    kind = "session"
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        clients: Sequence[ObjectServer],
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.clients = list(clients)
+        self.timeout = timeout
+        self.stats = TrafficStats()
+
+    def _invoke_once(self, client: ObjectServer, target, method: str, args):
+        """One tallied invocation; yields True on success, False on error."""
+        try:
+            yield from client.runtime.invoke(
+                target, method, *args, timeout=self.timeout
+            )
+        except LegionError as exc:
+            self.stats.calls_failed += 1
+            if len(self.stats.errors) < 32:
+                self.stats.errors.append(f"{target}.{method}: {exc}")
+            return False
+        self.stats.calls_succeeded += 1
+        return True
+
+    def _client_loop(self, client: ObjectServer):
+        raise NotImplementedError
+
+    def start(self) -> SimFuture:
+        """Spawn every client loop; future resolves with TrafficStats."""
+        futures = [
+            self.kernel.spawn(self._client_loop(c), name=f"{self.kind}-{c.loid}")
+            for c in self.clients
+        ]
+        return gather(futures).then(
+            lambda _results: self.stats, name=f"{self.kind}-stats"
+        )
+
+
+class TrafficDriver(SessionLoopDriver):
     """Run invocation loops from a set of clients.
 
     Each client issues ``calls_per_client`` invocations of ``method`` with
@@ -116,6 +169,8 @@ class TrafficDriver:
     with ``think_time`` simulated ms between calls.  Returns a
     :class:`TrafficStats` future (resolve by running the kernel).
     """
+
+    kind = "traffic"
 
     def __init__(
         self,
@@ -128,42 +183,23 @@ class TrafficDriver:
         think_time: float = 1.0,
         timeout: Optional[float] = None,
     ) -> None:
-        self.kernel = kernel
-        self.clients = list(clients)
+        super().__init__(kernel, clients, timeout=timeout)
         self.choose_target = choose_target
         self.method = method
         self.args = tuple(args)
         self.calls_per_client = calls_per_client
         self.think_time = think_time
-        self.timeout = timeout
-        self.stats = TrafficStats()
 
     def _client_loop(self, client: ObjectServer):
         for _i in range(self.calls_per_client):
             target = self.choose_target(client)
             self.stats.calls_issued += 1
-            try:
-                yield from client.runtime.invoke(
-                    target, self.method, *self.args, timeout=self.timeout
-                )
-                self.stats.calls_succeeded += 1
-            except LegionError as exc:
-                self.stats.calls_failed += 1
-                if len(self.stats.errors) < 32:
-                    self.stats.errors.append(f"{target}.{self.method}: {exc}")
+            yield from self._invoke_once(client, target, self.method, self.args)
             if self.think_time > 0:
                 yield Timeout(self.think_time)
 
-    def start(self) -> SimFuture:
-        """Spawn every client loop; future resolves with TrafficStats."""
-        futures = [
-            self.kernel.spawn(self._client_loop(c), name=f"traffic-{c.loid}")
-            for c in self.clients
-        ]
-        return gather(futures).then(lambda _results: self.stats, name="traffic-stats")
 
-
-class OpenLoopDriver:
+class OpenLoopDriver(SessionLoopDriver):
     """Fixed-rate (open-loop) traffic: offered load independent of latency.
 
     The closed-loop :class:`TrafficDriver` caps throughput at
@@ -178,6 +214,8 @@ class OpenLoopDriver:
     Create()s) is one callback.
     """
 
+    kind = "openloop"
+
     def __init__(
         self,
         kernel: SimKernel,
@@ -187,24 +225,10 @@ class OpenLoopDriver:
         duration: float,
         timeout: Optional[float] = None,
     ) -> None:
-        self.kernel = kernel
-        self.clients = list(clients)
+        super().__init__(kernel, clients, timeout=timeout)
         self.choose_call = choose_call
         self.interval = interval
         self.duration = duration
-        self.timeout = timeout
-        self.stats = TrafficStats()
-
-    def _one_call(self, client: ObjectServer, target, method: str, args):
-        try:
-            yield from client.runtime.invoke(
-                target, method, *args, timeout=self.timeout
-            )
-            self.stats.calls_succeeded += 1
-        except LegionError as exc:
-            self.stats.calls_failed += 1
-            if len(self.stats.errors) < 32:
-                self.stats.errors.append(f"{target}.{method}: {exc}")
 
     def _client_loop(self, client: ObjectServer):
         deadline = self.kernel.now + self.duration
@@ -214,21 +238,13 @@ class OpenLoopDriver:
             self.stats.calls_issued += 1
             calls.append(
                 self.kernel.spawn(
-                    self._one_call(client, target, method, args),
+                    self._invoke_once(client, target, method, args),
                     name=f"openloop-{client.loid}",
                 )
             )
             yield Timeout(self.interval)
         for fut in calls:  # drain: every fired call must resolve
             yield fut
-
-    def start(self) -> SimFuture:
-        """Spawn every client loop; future resolves with TrafficStats."""
-        futures = [
-            self.kernel.spawn(self._client_loop(c), name=f"openloop-{c.loid}")
-            for c in self.clients
-        ]
-        return gather(futures).then(lambda _results: self.stats, name="openloop-stats")
 
 
 class ChurnDriver:

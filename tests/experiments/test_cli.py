@@ -14,7 +14,7 @@ class TestCLI:
             assert name in out.split()
 
     def test_runner_table_is_complete(self):
-        assert set(RUNNERS) == {f"e{i}" for i in range(1, 18)} | {
+        assert set(RUNNERS) == {f"e{i}" for i in range(1, 19)} | {
             "a1",
             "a2",
             "a3",

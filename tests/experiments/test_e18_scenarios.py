@@ -1,0 +1,63 @@
+"""E18: the scenario x subsystem matrix and its CLI surface.
+
+The cross-shard byte-identity of the *default* E18 arms is covered by
+the shard matrix (``test_shard_matrix.py``); here the same contract is
+pinned with the subsystem flags applied -- every scenario must stay
+deterministic under ``--faults``, ``--governor``, and ``--mega`` -- plus
+the report artifact and the ``--list-scenarios`` listing.
+"""
+
+import json
+
+from repro.experiments import e18_scenarios, runner
+from repro.scenarios import scenario_names
+
+
+def test_units_cover_the_scenario_x_arm_matrix():
+    units = e18_scenarios.shard_units(quick=True)
+    names = {u[0] for u in units}
+    arms = {u[1] for u in units}
+    assert names == set(scenario_names())
+    assert {"plain", "faults", "governor", "mega"} <= arms
+    assert len(units) == len(names) * len(arms)
+
+
+def test_optional_flags_add_their_arms():
+    units = e18_scenarios.shard_units(
+        quick=True, overload=6.0, autoscale=0.7, replicas=3
+    )
+    arms = {u[1] for u in units}
+    assert {"overload", "autoscale", "replicas"} <= arms
+
+
+def test_e18_is_byte_identical_across_shards_under_the_subsystem_flags():
+    kwargs = dict(quick=True, seed=0, faults=2.0, governor=4.0, mega=50_000)
+    seq = runner.run_one("e18", shards=1, **kwargs)
+    par = runner.run_one("e18", shards=4, **kwargs)
+    assert seq.passed, seq.report
+    assert seq.report == par.report
+    assert "faults arm" in seq.report
+    assert "governor arm" in seq.report
+    assert "mega arm" in seq.report
+
+
+def test_report_artifact_is_written_and_deterministic(tmp_path):
+    a, b = tmp_path / "a", tmp_path / "b"
+    ra = e18_scenarios.run(quick=True, seed=0, report=str(a))
+    rb = e18_scenarios.run(quick=True, seed=0, report=str(b))
+    assert ra.passed and rb.passed
+    pa = a / "e18-scenarios-seed0.json"
+    pb = b / "e18-scenarios-seed0.json"
+    assert pa.read_bytes() == pb.read_bytes()
+    payload = json.loads(pa.read_text())
+    assert set(payload["scenarios"]) == set(scenario_names())
+    denied = payload["scenarios"]["multi-tenant"]["plain"]["outcomes"]["denied"]
+    assert denied > 0
+
+
+def test_list_scenarios_flag_prints_the_catalog(capsys):
+    assert runner.main(["--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+    assert "MayI" in out  # descriptions are shown, not just names

@@ -12,7 +12,7 @@ is what makes the sequential run the reference.
 
 from repro.experiments.runner import SHARDED, run_one
 
-MATRIX = ["e9", "e13", "e15", "e16", "e17"]
+MATRIX = ["e9", "e13", "e15", "e16", "e17", "e18"]
 
 
 def test_sharded_registry_covers_the_matrix():
